@@ -1,0 +1,65 @@
+"""Extension benchmark — ablation of the CPE design choices.
+
+Two design decisions called out in DESIGN.md are ablated here on RW-1 and
+S-1:
+
+* the CPE posterior: the paper's literal Eq. (8) (profile-only conditional
+  expectation) vs the counts-conditioned posterior used by default;
+* the LGE anchor weighting: the paper's equal weighting vs the
+  exposure-proportional weighting used by default.
+
+The benchmark reports all four accuracies; the default configuration should
+be at least as good as the literal one (that is why it is the default).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import record, run_once
+from repro.baselines import OursSelector
+from repro.core.cpe import CPEConfig
+from repro.core.lge import LGEConfig
+from repro.datasets.registry import get_spec
+from repro.evaluation.metrics import selection_accuracy
+from repro.stats.rng import derive_seed
+
+DATASETS = ["RW-1", "S-1"]
+N_REPETITIONS = 2
+
+
+def _run_variant(posterior: str, weight_by_exposure: bool) -> float:
+    accuracies = []
+    for dataset in DATASETS:
+        spec = get_spec(dataset)
+        for repetition in range(N_REPETITIONS):
+            instance = spec.instantiate(seed=derive_seed(7, dataset, "ablation", repetition))
+            selector = OursSelector(
+                cpe_config=CPEConfig(posterior=posterior),
+                lge_config=LGEConfig(weight_anchors_by_exposure=weight_by_exposure),
+                rng=repetition,
+            )
+            environment = instance.environment(run_seed=repetition)
+            result = selector.select(environment)
+            accuracies.append(selection_accuracy(environment, result))
+    return float(np.mean(accuracies))
+
+
+def test_ablation_cpe_posterior_and_lge_weighting(benchmark):
+    def run_all():
+        return {
+            "counts+exposure (default)": _run_variant("counts", True),
+            "counts+equal": _run_variant("counts", False),
+            "prior+exposure (literal Eq. 8)": _run_variant("prior", True),
+            "prior+equal (literal paper)": _run_variant("prior", False),
+        }
+
+    results = run_once(benchmark, run_all)
+    print("\nAblation of CPE posterior / LGE anchor weighting (mean accuracy over RW-1, S-1):")
+    for name, value in results.items():
+        print(f"  {name:32s} {value:.3f}")
+
+    default = results["counts+exposure (default)"]
+    literal = results["prior+equal (literal paper)"]
+    assert default >= literal - 0.05
+    record(benchmark, {name: round(value, 3) for name, value in results.items()})

@@ -1,0 +1,40 @@
+"""Benchmark E4 — Figure 5: sensitivity to the initial target accuracy a_T.
+
+Sweeps a_T for the proposed method and checks the paper's observation that
+performance is stable over the central range of a_T (the curve is flat for
+a_T in roughly [0.2, 0.8] and the default 0.5 is not a knife-edge choice).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import SWEEP_CONFIG, record, run_once
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.report import format_table
+
+AT_VALUES = (0.1, 0.3, 0.5, 0.7, 0.9)
+DATASETS = ["RW-1", "RW-2", "S-1", "S-2"]
+
+
+def test_figure5_at_sensitivity(benchmark):
+    rows = run_once(benchmark, lambda: run_figure5(DATASETS, at_values=AT_VALUES, config=SWEEP_CONFIG))
+    print("\nFigure 5 — accuracy of the proposed method vs a_T")
+    print(format_table(rows))
+
+    for dataset in DATASETS:
+        series = np.array([float(row[dataset]) for row in rows])
+        central = series[1:4]  # a_T in {0.3, 0.5, 0.7}
+        # Stability claim: the central values stay within a narrow band.
+        assert central.max() - central.min() < 0.12, dataset
+        # The default a_T = 0.5 is close to the best setting.
+        assert series[2] >= series.max() - 0.08, dataset
+
+    record(
+        benchmark,
+        {
+            f"{dataset}@aT={row['a_T']}": round(float(row[dataset]), 3)
+            for row in rows
+            for dataset in DATASETS
+        },
+    )

@@ -1,0 +1,53 @@
+"""Benchmark E5 — Figure 6: sensitivity to the number of selected workers k.
+
+Sweeps k per dataset (the full paper grid on the small datasets, the
+endpoints on S-3/S-4 to bound the runtime) with every method, and checks the
+qualitative observations of Section V-G: accuracies stay below the ground
+truth, larger k (fewer elimination rounds) brings methods closer together,
+and the proposed method never falls far behind the best baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import SWEEP_CONFIG, record, run_once
+from repro.config import METHOD_ORDER
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.report import format_table
+
+K_GRID = {
+    "RW-1": [7, 14],
+    "RW-2": [9, 18],
+    "S-1": [5, 10, 20],
+    "S-2": [5, 10, 20],
+    "S-3": [5, 40],
+    "S-4": [5, 40],
+}
+
+
+@pytest.mark.parametrize("dataset", list(K_GRID))
+def test_figure6_k_sensitivity(benchmark, dataset):
+    rows = run_once(
+        benchmark,
+        lambda: run_figure6([dataset], k_values={dataset: K_GRID[dataset]}, config=SWEEP_CONFIG),
+    )
+    print(f"\nFigure 6 — {dataset}")
+    print(format_table(rows))
+
+    for row in rows:
+        for method in METHOD_ORDER:
+            assert 0.0 <= float(row[method]) <= 1.0
+            assert float(row[method]) <= float(row["ground-truth"]) + 1e-6
+        ours = float(row["ours"])
+        best_baseline = max(float(row[m]) for m in METHOD_ORDER if m != "ours")
+        assert ours >= best_baseline - 0.08
+
+    # Larger k selects deeper into the pool, so the ground-truth mean falls.
+    ground_truths = [float(row["ground-truth"]) for row in rows]
+    assert ground_truths[0] >= ground_truths[-1] - 1e-6
+
+    record(
+        benchmark,
+        {f"k={row['k']}:{m}": round(float(row[m]), 3) for row in rows for m in ("ours", "me", "us")},
+    )

@@ -1,0 +1,56 @@
+"""Benchmark E6 — Figure 7: sensitivity to the learning tasks per batch Q.
+
+Sweeps the per-batch budget Q on the synthetic datasets with every method
+(the full {16, 20, 30, 40} grid on S-1/S-2, the endpoints on S-3/S-4) and
+checks the paper's observations: every method improves — and the curves
+bunch together — as the budget grows, while the proposed method remains
+competitive throughout and is most valuable at small Q.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import SWEEP_CONFIG, record, run_once
+from repro.config import METHOD_ORDER
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.report import format_table
+
+Q_GRID = {
+    "S-1": (16, 20, 30, 40),
+    "S-2": (16, 20, 30, 40),
+    "S-3": (16, 40),
+    "S-4": (16, 40),
+}
+
+
+@pytest.mark.parametrize("dataset", list(Q_GRID))
+def test_figure7_q_sensitivity(benchmark, dataset):
+    rows = run_once(
+        benchmark,
+        lambda: run_figure7([dataset], q_values=Q_GRID[dataset], config=SWEEP_CONFIG),
+    )
+    print(f"\nFigure 7 — {dataset}")
+    print(format_table(rows))
+
+    baselines = [m for m in METHOD_ORDER if m != "ours"]
+    spreads = []
+    for row in rows:
+        for method in METHOD_ORDER:
+            assert 0.0 <= float(row[method]) <= 1.0
+            assert float(row[method]) <= float(row["ground-truth"]) + 1e-6
+        ours = float(row["ours"])
+        best_baseline = max(float(row[m]) for m in baselines)
+        worst_method = min(float(row[m]) for m in METHOD_ORDER)
+        spreads.append(float(row["ground-truth"]) - worst_method)
+        assert ours >= best_baseline - 0.08
+
+    # With a larger budget every method gets closer to the ground truth, so
+    # the spread between the worst method and the ground truth shrinks (or at
+    # least does not grow materially) from the smallest to the largest Q.
+    assert spreads[-1] <= spreads[0] + 0.05
+
+    record(
+        benchmark,
+        {f"Q={row['Q']}:{m}": round(float(row[m]), 3) for row in rows for m in ("ours", "me", "us")},
+    )

@@ -1,0 +1,27 @@
+"""Benchmark E7 — Section V-H: selection runtime vs pool size.
+
+Times one full selection run of the proposed method on every dataset and
+checks the shape of the paper's runtime discussion: the cost grows with the
+pool size but stays at the seconds scale, i.e. negligible against human
+task-completion time (the paper's surveys took ~1000 s median).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import SWEEP_CONFIG, record, run_once
+from repro.experiments.report import format_table
+from repro.experiments.runtime import run_runtime
+
+
+def test_runtime_scaling(benchmark):
+    rows = run_once(benchmark, lambda: run_runtime(config=SWEEP_CONFIG))
+    print("\nSection V-H — selection runtime (seconds)")
+    print(format_table(rows))
+
+    by_dataset = {row["dataset"]: row for row in rows}
+    # Shape: the largest pool costs more than the smallest, and everything
+    # stays well below human survey-completion time (~1000 s).
+    assert by_dataset["S-4"]["seconds"] > by_dataset["RW-1"]["seconds"]
+    assert all(row["seconds"] < 300.0 for row in rows)
+
+    record(benchmark, {row["dataset"]: round(float(row["seconds"]), 2) for row in rows})

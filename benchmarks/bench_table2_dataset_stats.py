@@ -1,0 +1,25 @@
+"""Benchmark E1 — Table II: dataset statistics.
+
+Regenerates the dataset-statistics table (pool size, Q, k, batches, budget)
+and checks it against the values printed in the paper.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record, run_once
+from repro.experiments.report import format_table
+from repro.experiments.table2 import PAPER_TABLE_II, run_table2
+
+
+def test_table2_dataset_statistics(benchmark):
+    rows = run_once(benchmark, run_table2)
+    print("\n" + format_table(rows))
+
+    by_name = {row["dataset"]: row for row in rows}
+    # Everything except the paper's internally inconsistent S-2 row matches exactly.
+    for name in ("RW-1", "RW-2", "S-1", "S-3", "S-4"):
+        assert by_name[name]["B"] == PAPER_TABLE_II[name]["B"]
+        assert by_name[name]["batches"] == PAPER_TABLE_II[name]["batches"]
+    assert by_name["S-2"]["workers"] == PAPER_TABLE_II["S-2"]["workers"]
+
+    record(benchmark, {row["dataset"]: f"B={row['B']}, batches={row['batches']}" for row in rows})

@@ -1,0 +1,39 @@
+"""Benchmark E9 — Section V-H: the value of worker training.
+
+Measures the average worker accuracy before and after one batch of revealed
+learning tasks on the simulated RW datasets, and the break-even ratio of
+working to learning tasks above which training pays for itself.  The paper's
+claim being reproduced is qualitative: training produces a material accuracy
+gain and the break-even ratio is a small single-digit number.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_CONFIG, record, run_once
+from repro.experiments.report import format_table
+from repro.experiments.training_gain import run_training_gain
+
+
+def test_training_gain(benchmark):
+    rows = run_once(benchmark, lambda: run_training_gain(config=BENCH_CONFIG))
+    print("\nSection V-H — accuracy before/after one training batch")
+    print(format_table(rows))
+
+    for row in rows:
+        # Training never hurts (the RW worker model floors learning at zero),
+        # and at least one survey shows a clearly positive gain.  The
+        # simulated learning curve is milder than the surveyed humans' — see
+        # EXPERIMENTS.md — so the paper's exact 0.24 / 0.20 gains are not
+        # asserted.
+        assert row["after"] >= row["before"] - 1e-9
+        assert row["break_even_ratio"] > 0
+    assert max(row["gain"] for row in rows) > 0.05
+
+    record(
+        benchmark,
+        {
+            row["dataset"]: f"before={row['before']:.2f} after={row['after']:.2f} "
+            f"break-even={row['break_even_ratio']:.1f}"
+            for row in rows
+        },
+    )

@@ -1,0 +1,68 @@
+"""Scenario: how many golden questions does a requester actually need?
+
+A task requester with a fixed worker pool wants to know how the per-batch
+golden-question budget ``Q`` trades off against the quality of the selected
+team — the practical question behind the paper's Figure 7.  The script sweeps
+``Q`` on a mid-sized synthetic pool, compares the proposed method against the
+Uniform Sampling baseline at every budget, and prints the theoretical
+per-round error bound (Theorem 2) alongside the measured accuracies.
+
+Run with::
+
+    python examples/budget_planning_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import OursSelector, UniformSamplingSelector
+from repro.core.bounds import round_error_bound
+from repro.datasets.synthetic import synthetic_spec
+from repro.evaluation.metrics import selection_accuracy
+
+POOL_SIZE = 32
+K = 4
+Q_VALUES = (6, 10, 16, 24)
+N_REPETITIONS = 3
+
+
+def evaluate(q: int) -> dict:
+    spec = synthetic_spec("budget-study", n_workers=POOL_SIZE, tasks_per_batch=q, k=K)
+    ours_accuracies, us_accuracies, ground_truths = [], [], []
+    for repetition in range(N_REPETITIONS):
+        instance = spec.instantiate(seed=repetition)
+        ground_truths.append(instance.ground_truth_mean_accuracy())
+        for selector, bucket in ((OursSelector(rng=repetition), ours_accuracies),
+                                 (UniformSamplingSelector(), us_accuracies)):
+            environment = instance.environment(run_seed=repetition)
+            result = selector.select(environment)
+            bucket.append(selection_accuracy(environment, result))
+    schedule = spec.schedule()
+    return {
+        "Q": q,
+        "budget": schedule.total_budget,
+        "rounds": schedule.n_rounds,
+        "epsilon_bound": round_error_bound(schedule.n_rounds, K, schedule.total_budget, delta=0.1),
+        "ours": float(np.mean(ours_accuracies)),
+        "us": float(np.mean(us_accuracies)),
+        "ground_truth": float(np.mean(ground_truths)),
+    }
+
+
+def main() -> None:
+    print(f"Budget planning for a {POOL_SIZE}-worker pool, selecting k={K} "
+          f"(averaged over {N_REPETITIONS} pool draws)\n")
+    print(f"{'Q':>4} {'budget':>7} {'rounds':>7} {'eps bound':>10} {'US':>7} {'Ours':>7} {'GT':>7} {'gap closed':>11}")
+    for q in Q_VALUES:
+        row = evaluate(q)
+        gap_closed = (row["ours"] - row["us"]) / max(row["ground_truth"] - row["us"], 1e-9)
+        print(f"{row['Q']:>4} {row['budget']:>7} {row['rounds']:>7} {row['epsilon_bound']:>10.3f} "
+              f"{row['us']:>7.3f} {row['ours']:>7.3f} {row['ground_truth']:>7.3f} {gap_closed:>10.0%}")
+    print("\nReading the table: as Q grows the theoretical per-round error bound and the")
+    print("advantage of cross-domain information both shrink — matching the paper's")
+    print("Figure 7 observation that golden questions are most precious when scarce.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Quickstart: select the best crowd workers for a new annotation domain.
+
+Loads the S-1 synthetic dataset (40 workers, three prior domains, one target
+domain), runs the paper's cross-domain-aware selection pipeline next to the
+Uniform Sampling and Median Elimination baselines under the same budget, and
+reports the working-task accuracy of each method's selected workers.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    MedianEliminationSelector,
+    OursSelector,
+    UniformSamplingSelector,
+    load_dataset,
+)
+from repro.evaluation.metrics import precision_at_k, selection_accuracy
+
+
+def main() -> None:
+    dataset = load_dataset("S-1", seed=0)
+    print(f"Dataset {dataset.name}: {len(dataset.pool)} workers, "
+          f"budget B={dataset.schedule.total_budget}, "
+          f"{dataset.schedule.n_rounds} elimination rounds, k={dataset.schedule.k}")
+    print(f"Ground-truth top-{dataset.schedule.k} mean accuracy: "
+          f"{dataset.ground_truth_mean_accuracy():.3f}\n")
+
+    selectors = [
+        UniformSamplingSelector(),
+        MedianEliminationSelector(rng=0),
+        OursSelector(rng=0),
+    ]
+    for selector in selectors:
+        environment = dataset.environment(run_seed=0)
+        result = selector.select(environment)
+        accuracy = selection_accuracy(environment, result)
+        precision = precision_at_k(environment, result)
+        print(f"{selector.name:8s} selected {len(result.selected_worker_ids)} workers | "
+              f"working-task accuracy {accuracy:.3f} | overlap with true top-k {precision:.0%} | "
+              f"budget used {result.spent_budget}")
+
+    print("\nThe proposed method ('ours') combines the workers' historical cross-domain")
+    print("profiles (CPE) with per-worker learning curves fitted during training (LGE),")
+    print("so it can keep fast learners that the observation-only baselines eliminate early.")
+
+
+if __name__ == "__main__":
+    main()

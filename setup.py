@@ -1,0 +1,10 @@
+"""Legacy setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so editable installs work in offline
+environments whose setuptools lacks the ``wheel`` package (``pip install -e .
+--no-use-pep517`` falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

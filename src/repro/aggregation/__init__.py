@@ -1,0 +1,25 @@
+"""Label-aggregation substrate (the downstream consumer of worker selection).
+
+The paper motivates worker selection by the quality of the final annotations
+the selected workers produce.  This package closes that loop: given the
+selected workers' answers to the working tasks, it aggregates them into a
+single label per task, so examples and extended benchmarks can report
+end-to-end annotation quality and not only per-worker accuracy.
+
+Two standard aggregators are provided:
+
+* :func:`majority_vote` — the simplest and most widely used rule;
+* :class:`DawidSkeneAggregator` — the classic EM estimator of per-worker
+  confusion matrices, which outperforms majority vote when worker quality is
+  heterogeneous (exactly the setting of this paper).
+"""
+
+from repro.aggregation.dawid_skene import DawidSkeneAggregator, DawidSkeneResult
+from repro.aggregation.majority import AggregationResult, majority_vote
+
+__all__ = [
+    "majority_vote",
+    "AggregationResult",
+    "DawidSkeneAggregator",
+    "DawidSkeneResult",
+]

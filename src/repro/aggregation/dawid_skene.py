@@ -1,0 +1,119 @@
+"""Dawid-Skene EM aggregation for binary labels.
+
+The classic (1979) model: every task has a latent true label, every worker a
+2x2 confusion matrix, and EM alternates between estimating the posterior of
+the true labels (E-step) and re-estimating the confusion matrices and class
+prior (M-step).  We specialise it to binary Yes/No tasks, which is all the
+paper's task type requires, and keep the implementation dependency-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.aggregation.majority import majority_vote
+
+_SMOOTH = 1e-6
+
+
+@dataclass(frozen=True)
+class DawidSkeneResult:
+    """Posterior labels and per-worker quality estimates."""
+
+    labels: np.ndarray
+    posterior_positive: np.ndarray
+    worker_accuracy: np.ndarray
+    class_prior: float
+    n_iterations: int
+    converged: bool
+
+    def accuracy_against(self, gold_labels: Sequence[bool]) -> float:
+        """Fraction of tasks whose inferred label matches the gold label."""
+        gold = np.asarray(gold_labels, dtype=bool)
+        if gold.shape[0] != self.labels.shape[0]:
+            raise ValueError("gold_labels must match the number of tasks")
+        return float(np.mean(self.labels == gold))
+
+
+class DawidSkeneAggregator:
+    """Binary Dawid-Skene EM with majority-vote initialisation."""
+
+    def __init__(self, max_iterations: int = 100, tolerance: float = 1e-6) -> None:
+        if max_iterations <= 0:
+            raise ValueError("max_iterations must be positive")
+        if tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        self._max_iterations = max_iterations
+        self._tolerance = tolerance
+
+    # ------------------------------------------------------------------ #
+    def aggregate(self, answers: np.ndarray, mask: Optional[np.ndarray] = None) -> DawidSkeneResult:
+        """Run EM on a ``(workers x tasks)`` binary answer matrix.
+
+        ``nan`` entries (or ``mask == False``) mark missing answers.
+        """
+        matrix = np.atleast_2d(np.asarray(answers, dtype=float))
+        valid = ~np.isnan(matrix)
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            if mask.shape != matrix.shape:
+                raise ValueError("mask must match the shape of answers")
+            valid &= mask
+        observed = np.where(valid, matrix, 0.0)
+
+        # Initialise the posterior from majority vote.
+        initial = majority_vote(np.where(valid, matrix, np.nan))
+        posterior = np.clip(initial.labels.astype(float), 0.05, 0.95)
+
+        sensitivity = np.full(matrix.shape[0], 0.7)  # P(answer=1 | true=1) per worker
+        specificity = np.full(matrix.shape[0], 0.7)  # P(answer=0 | true=0) per worker
+        prior = float(np.clip(posterior.mean(), _SMOOTH, 1.0 - _SMOOTH))
+
+        converged = False
+        iteration = 0
+        for iteration in range(1, self._max_iterations + 1):
+            # ---------------- M-step ---------------- #
+            weight_pos = posterior[None, :] * valid
+            weight_neg = (1.0 - posterior)[None, :] * valid
+            sensitivity = (weight_pos * observed).sum(axis=1) + _SMOOTH
+            sensitivity /= weight_pos.sum(axis=1) + 2 * _SMOOTH
+            specificity = (weight_neg * (1.0 - observed)).sum(axis=1) + _SMOOTH
+            specificity /= weight_neg.sum(axis=1) + 2 * _SMOOTH
+            prior = float(np.clip(posterior.mean(), _SMOOTH, 1.0 - _SMOOTH))
+
+            # ---------------- E-step ---------------- #
+            log_pos = np.log(prior) + np.where(
+                valid,
+                observed * np.log(sensitivity[:, None]) + (1.0 - observed) * np.log(1.0 - sensitivity[:, None]),
+                0.0,
+            ).sum(axis=0)
+            log_neg = np.log(1.0 - prior) + np.where(
+                valid,
+                (1.0 - observed) * np.log(specificity[:, None]) + observed * np.log(1.0 - specificity[:, None]),
+                0.0,
+            ).sum(axis=0)
+            shift = np.maximum(log_pos, log_neg)
+            new_posterior = np.exp(log_pos - shift) / (np.exp(log_pos - shift) + np.exp(log_neg - shift))
+
+            if np.max(np.abs(new_posterior - posterior)) < self._tolerance:
+                posterior = new_posterior
+                converged = True
+                break
+            posterior = new_posterior
+
+        labels = posterior >= 0.5
+        worker_accuracy = 0.5 * (sensitivity + specificity)
+        return DawidSkeneResult(
+            labels=labels,
+            posterior_positive=posterior,
+            worker_accuracy=worker_accuracy,
+            class_prior=prior,
+            n_iterations=iteration,
+            converged=converged,
+        )
+
+
+__all__ = ["DawidSkeneAggregator", "DawidSkeneResult"]

@@ -1,0 +1,78 @@
+"""Majority-vote label aggregation.
+
+Answers are a ``(workers x tasks)`` matrix of binary labels (True = "Yes").
+Missing answers are encoded as ``numpy.nan`` in a float matrix or masked via
+the optional ``mask`` argument.  Ties are broken by the configurable
+``tie_break`` value so aggregation is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AggregationResult:
+    """Aggregated labels plus per-task vote statistics."""
+
+    labels: np.ndarray
+    positive_votes: np.ndarray
+    total_votes: np.ndarray
+
+    @property
+    def n_tasks(self) -> int:
+        return int(self.labels.shape[0])
+
+    def accuracy_against(self, gold_labels: Sequence[bool]) -> float:
+        """Fraction of tasks whose aggregated label matches the gold label."""
+        gold = np.asarray(gold_labels, dtype=bool)
+        if gold.shape[0] != self.labels.shape[0]:
+            raise ValueError("gold_labels must match the number of tasks")
+        if gold.size == 0:
+            raise ValueError("gold_labels must be non-empty")
+        return float(np.mean(self.labels == gold))
+
+
+def majority_vote(
+    answers: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+    tie_break: bool = True,
+) -> AggregationResult:
+    """Aggregate binary answers by per-task majority.
+
+    Parameters
+    ----------
+    answers:
+        ``(workers x tasks)`` array of 0/1 (or boolean) answers; ``nan``
+        entries are treated as missing.
+    mask:
+        Optional boolean array of the same shape; ``False`` marks missing
+        answers (combined with the NaN convention).
+    tie_break:
+        Label assigned when the vote is exactly tied or no votes exist.
+    """
+    matrix = np.atleast_2d(np.asarray(answers, dtype=float))
+    if matrix.ndim != 2:
+        raise ValueError("answers must be a 2-D (workers x tasks) array")
+    valid = ~np.isnan(matrix)
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != matrix.shape:
+            raise ValueError("mask must match the shape of answers")
+        valid &= mask
+
+    votes = np.where(valid, matrix, 0.0)
+    positive = votes.sum(axis=0)
+    totals = valid.sum(axis=0).astype(float)
+    labels = np.where(
+        totals == 0,
+        tie_break,
+        np.where(positive * 2 == totals, tie_break, positive * 2 > totals),
+    ).astype(bool)
+    return AggregationResult(labels=labels, positive_votes=positive, total_votes=totals)
+
+
+__all__ = ["majority_vote", "AggregationResult"]

@@ -1,0 +1,35 @@
+"""Baseline worker-selection strategies compared against in Section V.
+
+* :class:`UniformSamplingSelector` — Uniform Sampling (US): every worker
+  receives the same share of the budget in one shot and the top-``k`` by
+  observed accuracy are selected.
+* :class:`MedianEliminationSelector` — plain budgeted Median Elimination
+  (ME): the per-round observed accuracy drives the halving, with no
+  cross-domain or learning-gain modelling.
+* :class:`LiRegressionSelector` — Li et al. [31]: a linear regression from
+  workers' historical profiles to their observed learning-task accuracy,
+  ranking workers by the regressed (smoothed) values.
+* :class:`MeCpeSelector` — the ME-CPE ablation (CPE without LGE).
+* :class:`RandomSelector` / :class:`OracleSelector` — sanity-check lower and
+  upper reference points (not in the paper's tables, used by tests and the
+  extended benchmarks).
+
+All baselines receive exactly the same budget and observables as the
+proposed method.
+"""
+
+from repro.baselines.li_regression import LiRegressionSelector
+from repro.baselines.me_cpe import MeCpeSelector, OursSelector
+from repro.baselines.median_elimination import MedianEliminationSelector
+from repro.baselines.random_oracle import OracleSelector, RandomSelector
+from repro.baselines.uniform_sampling import UniformSamplingSelector
+
+__all__ = [
+    "UniformSamplingSelector",
+    "MedianEliminationSelector",
+    "LiRegressionSelector",
+    "MeCpeSelector",
+    "OursSelector",
+    "RandomSelector",
+    "OracleSelector",
+]

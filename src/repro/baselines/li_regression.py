@@ -1,0 +1,91 @@
+"""Li et al. [31] regression baseline.
+
+"The wisdom of minority" selects workers by regressing a quality signal on
+worker features and ranking workers by the regressed value.  Following the
+paper's adaptation, the features are the historical cross-domain profiles
+``h_i`` and the regression target is the accuracy each worker achieves on
+the uniformly assigned learning tasks.  Ranking by the *fitted* values
+rather than the raw observations lets the baseline exploit static
+cross-domain structure — but, unlike the proposed method, it can model
+neither the elimination feedback loop nor the workers' learning gains.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.selector import BaseWorkerSelector, SelectionResult, top_k_by_score
+from repro.platform.session import AnnotationEnvironment
+
+_RIDGE = 1e-6  # tiny ridge term keeps the normal equations well-posed
+
+
+def _impute_missing(features: np.ndarray) -> np.ndarray:
+    """Replace NaN feature entries with the column mean (0.5 if a column is all-NaN)."""
+    imputed = features.copy()
+    for column in range(imputed.shape[1]):
+        values = imputed[:, column]
+        observed = values[~np.isnan(values)]
+        fill = float(observed.mean()) if observed.size else 0.5
+        values[np.isnan(values)] = fill
+        imputed[:, column] = values
+    return imputed
+
+
+def fit_linear_regression(features: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Ordinary least squares with an intercept and a tiny ridge term.
+
+    Returns the coefficient vector ``[intercept, w_1, ..., w_D]``.
+    """
+    features = np.atleast_2d(np.asarray(features, dtype=float))
+    targets = np.asarray(targets, dtype=float)
+    if features.shape[0] != targets.shape[0]:
+        raise ValueError("features and targets must have the same number of rows")
+    design = np.hstack([np.ones((features.shape[0], 1)), _impute_missing(features)])
+    gram = design.T @ design + _RIDGE * np.eye(design.shape[1])
+    return np.linalg.solve(gram, design.T @ targets)
+
+
+def predict_linear_regression(coefficients: np.ndarray, features: np.ndarray) -> np.ndarray:
+    """Evaluate a fitted regression on (possibly NaN-containing) features."""
+    features = np.atleast_2d(np.asarray(features, dtype=float))
+    design = np.hstack([np.ones((features.shape[0], 1)), _impute_missing(features)])
+    return design @ np.asarray(coefficients, dtype=float)
+
+
+class LiRegressionSelector(BaseWorkerSelector):
+    """Rank workers by a linear regression from historical profiles to observed accuracy."""
+
+    name = "li"
+
+    def select(self, environment: AnnotationEnvironment, k: Optional[int] = None) -> SelectionResult:
+        k = self.resolve_k(environment, k)
+        worker_ids = environment.worker_ids
+        schedule = environment.schedule
+        tasks_per_worker = schedule.total_budget // len(worker_ids)
+
+        record = environment.run_learning_round(worker_ids, tasks_per_worker, round_index=1)
+        observed = record.accuracies()
+        accuracy_matrix, _ = environment.historical_profiles()
+        targets = np.asarray([observed[worker_id] for worker_id in worker_ids], dtype=float)
+
+        coefficients = fit_linear_regression(accuracy_matrix, targets)
+        fitted = predict_linear_regression(coefficients, accuracy_matrix)
+        scores = {worker_id: float(value) for worker_id, value in zip(worker_ids, fitted)}
+        selected = top_k_by_score(scores, k)
+        return SelectionResult(
+            method=self.name,
+            selected_worker_ids=selected,
+            estimated_accuracies={worker_id: scores[worker_id] for worker_id in selected},
+            spent_budget=environment.spent_budget,
+            n_rounds=1,
+            diagnostics={
+                "coefficients": coefficients.tolist(),
+                "tasks_per_worker": tasks_per_worker,
+            },
+        )
+
+
+__all__ = ["LiRegressionSelector", "fit_linear_regression", "predict_linear_regression"]

@@ -1,0 +1,64 @@
+"""Ablation variants built on the shared pipeline.
+
+* :class:`MeCpeSelector` — ME-CPE: cross-domain performance estimation
+  without learning-gain estimation (Table V's ablation row).
+* :class:`OursSelector` — the full proposed method, exposed with the same
+  constructor signature as the baselines so the experiment harness can
+  instantiate every method uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.cpe import CPEConfig
+from repro.core.lge import LGEConfig
+from repro.core.pipeline import CrossDomainWorkerSelector
+from repro.core.selector import BaseWorkerSelector, SelectionResult
+from repro.platform.session import AnnotationEnvironment
+from repro.stats.rng import SeedLike
+
+
+class MeCpeSelector(BaseWorkerSelector):
+    """Median Elimination guided by CPE estimates, without LGE."""
+
+    name = "me-cpe"
+
+    def __init__(self, cpe_config: Optional[CPEConfig] = None, rng: SeedLike = None) -> None:
+        self._inner = CrossDomainWorkerSelector(
+            cpe_config=cpe_config,
+            use_cpe=True,
+            use_lge=False,
+            rng=rng,
+            name=self.name,
+        )
+
+    def select(self, environment: AnnotationEnvironment, k: Optional[int] = None) -> SelectionResult:
+        return self._inner.select(environment, k)
+
+
+class OursSelector(BaseWorkerSelector):
+    """The full proposed method: CPE + LGE on top of budgeted Median Elimination."""
+
+    name = "ours"
+
+    def __init__(
+        self,
+        cpe_config: Optional[CPEConfig] = None,
+        lge_config: Optional[LGEConfig] = None,
+        rng: SeedLike = None,
+    ) -> None:
+        self._inner = CrossDomainWorkerSelector(
+            cpe_config=cpe_config,
+            lge_config=lge_config,
+            use_cpe=True,
+            use_lge=True,
+            rng=rng,
+            name=self.name,
+        )
+
+    def select(self, environment: AnnotationEnvironment, k: Optional[int] = None) -> SelectionResult:
+        return self._inner.select(environment, k)
+
+
+__all__ = ["MeCpeSelector", "OursSelector"]

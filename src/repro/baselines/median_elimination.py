@@ -1,0 +1,32 @@
+"""Plain budgeted Median Elimination (ME) baseline [11], [19].
+
+The same round/budget schedule as the proposed method (Eq. 12-13), but each
+round's ranking uses only the observed learning-task accuracy of that round:
+no cross-domain model, no learning-gain projection.  Implemented as a thin
+wrapper around the shared pipeline with both estimation components disabled,
+so the elimination mechanics are guaranteed to be identical.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.pipeline import CrossDomainWorkerSelector
+from repro.core.selector import BaseWorkerSelector, SelectionResult
+from repro.platform.session import AnnotationEnvironment
+from repro.stats.rng import SeedLike
+
+
+class MedianEliminationSelector(BaseWorkerSelector):
+    """Round-based halving driven purely by observed per-round accuracy."""
+
+    name = "me"
+
+    def __init__(self, rng: SeedLike = None) -> None:
+        self._inner = CrossDomainWorkerSelector(use_cpe=False, use_lge=False, rng=rng, name=self.name)
+
+    def select(self, environment: AnnotationEnvironment, k: Optional[int] = None) -> SelectionResult:
+        return self._inner.select(environment, k)
+
+
+__all__ = ["MedianEliminationSelector"]

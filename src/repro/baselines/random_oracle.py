@@ -1,0 +1,58 @@
+"""Reference selectors used for sanity checks and extended benchmarks.
+
+Neither appears in the paper's tables, but both are invaluable for testing:
+
+* :class:`RandomSelector` picks ``k`` workers uniformly at random without
+  spending any budget — every serious method must beat it.
+* :class:`OracleSelector` peeks at the environment's ground-truth ranking —
+  it realises the Table V "Ground Truth" row and upper-bounds every method.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.selector import BaseWorkerSelector, SelectionResult
+from repro.platform.session import AnnotationEnvironment
+from repro.stats.rng import SeedLike, as_generator
+
+
+class RandomSelector(BaseWorkerSelector):
+    """Uniformly random selection (budget-free lower reference)."""
+
+    name = "random"
+
+    def __init__(self, rng: SeedLike = None) -> None:
+        self._rng = as_generator(rng)
+
+    def select(self, environment: AnnotationEnvironment, k: Optional[int] = None) -> SelectionResult:
+        k = self.resolve_k(environment, k)
+        worker_ids = list(environment.worker_ids)
+        chosen = self._rng.choice(len(worker_ids), size=k, replace=False)
+        selected = [worker_ids[index] for index in sorted(chosen.tolist())]
+        return SelectionResult(
+            method=self.name,
+            selected_worker_ids=selected,
+            spent_budget=environment.spent_budget,
+            n_rounds=0,
+        )
+
+
+class OracleSelector(BaseWorkerSelector):
+    """Ground-truth top-k selection (the evaluation upper bound)."""
+
+    name = "oracle"
+
+    def select(self, environment: AnnotationEnvironment, k: Optional[int] = None) -> SelectionResult:
+        k = self.resolve_k(environment, k)
+        selected = environment.ground_truth_top_k(k)
+        return SelectionResult(
+            method=self.name,
+            selected_worker_ids=selected,
+            estimated_accuracies={worker_id: environment.final_accuracy(worker_id) for worker_id in selected},
+            spent_budget=environment.spent_budget,
+            n_rounds=0,
+        )
+
+
+__all__ = ["RandomSelector", "OracleSelector"]

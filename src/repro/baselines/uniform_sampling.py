@@ -1,0 +1,42 @@
+"""Uniform Sampling (US) baseline [11], [19].
+
+Every worker receives the same number of learning tasks — the whole budget
+spread evenly over the pool in a single round — and the ``k`` workers with
+the highest observed accuracy are selected.  US ignores both the historical
+profiles and the fact that workers learn during training, which is exactly
+what the paper's method improves on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.selector import BaseWorkerSelector, SelectionResult, top_k_by_score
+from repro.platform.session import AnnotationEnvironment
+
+
+class UniformSamplingSelector(BaseWorkerSelector):
+    """Assign the budget uniformly, rank by observed accuracy, take the top k."""
+
+    name = "us"
+
+    def select(self, environment: AnnotationEnvironment, k: Optional[int] = None) -> SelectionResult:
+        k = self.resolve_k(environment, k)
+        worker_ids = environment.worker_ids
+        schedule = environment.schedule
+        tasks_per_worker = schedule.total_budget // len(worker_ids)
+
+        record = environment.run_learning_round(worker_ids, tasks_per_worker, round_index=1)
+        observed = record.accuracies()
+        selected = top_k_by_score(observed, k)
+        return SelectionResult(
+            method=self.name,
+            selected_worker_ids=selected,
+            estimated_accuracies={worker_id: observed[worker_id] for worker_id in selected},
+            spent_budget=environment.spent_budget,
+            n_rounds=1,
+            diagnostics={"tasks_per_worker": tasks_per_worker},
+        )
+
+
+__all__ = ["UniformSamplingSelector"]

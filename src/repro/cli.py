@@ -1,0 +1,120 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Examples
+--------
+Run the main results table on the two real-world datasets with 3 repetitions::
+
+    repro-crowd table5 --datasets RW-1 RW-2 --repetitions 3
+
+Print the dataset statistics (Table II)::
+
+    repro-crowd table2
+
+Sweep the initial target accuracy (Figure 5) on S-1::
+
+    repro-crowd figure5 --datasets S-1 --repetitions 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.config import ExperimentConfig
+from repro.datasets.registry import DATASET_NAMES
+from repro.experiments import (
+    format_table,
+    results_to_markdown,
+    run_correlation_recovery,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_runtime,
+    run_table2,
+    run_table4,
+    run_table5,
+    run_training_gain,
+)
+
+EXPERIMENTS = (
+    "table2",
+    "table4",
+    "table5",
+    "figure5",
+    "figure6",
+    "figure7",
+    "runtime",
+    "correlation",
+    "training-gain",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for the ``repro-crowd`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-crowd",
+        description="Regenerate the tables and figures of the cross-domain worker-selection paper.",
+    )
+    parser.add_argument("experiment", choices=EXPERIMENTS, help="which artefact to regenerate")
+    parser.add_argument(
+        "--datasets",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help=f"datasets to include (default depends on the experiment); choices: {', '.join(DATASET_NAMES)}",
+    )
+    parser.add_argument("--repetitions", type=int, default=3, help="repetitions per cell (default 3)")
+    parser.add_argument("--seed", type=int, default=7, help="base random seed (default 7)")
+    parser.add_argument(
+        "--at", type=float, default=0.5, help="initial target-domain accuracy a_T (default 0.5)"
+    )
+    return parser
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        n_repetitions=args.repetitions,
+        base_seed=args.seed,
+        target_initial_accuracy=args.at,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    config = _config_from_args(args)
+    datasets: Optional[List[str]] = args.datasets
+
+    if args.experiment == "table2":
+        print(format_table(run_table2(datasets)))
+    elif args.experiment == "table4":
+        output = run_table4(datasets)
+        print("Per-domain moments (mean, std):")
+        print(format_table(output["moments"]))
+        print()
+        print("Consistency against RW-1 (bucketed Pearson):")
+        print(format_table(output["consistency"]))
+    elif args.experiment == "table5":
+        results = run_table5(datasets, config=config)
+        print(results_to_markdown(results))
+    elif args.experiment == "figure5":
+        print(format_table(run_figure5(datasets, config=config)))
+    elif args.experiment == "figure6":
+        print(format_table(run_figure6(datasets, config=config)))
+    elif args.experiment == "figure7":
+        print(format_table(run_figure7(datasets, config=config)))
+    elif args.experiment == "runtime":
+        print(format_table(run_runtime(datasets, config=config)))
+    elif args.experiment == "correlation":
+        print(format_table(run_correlation_recovery(datasets, config=config)))
+    elif args.experiment == "training-gain":
+        print(format_table(run_training_gain(datasets, config=config)))
+    else:  # pragma: no cover - argparse restricts the choices
+        print(f"unknown experiment {args.experiment!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,101 @@
+"""Shared experiment configuration and the canonical method roster.
+
+The paper compares five methods on every dataset (Table V): Uniform
+Sampling, Median Elimination, Li et al., the ME-CPE ablation and the
+proposed method, plus the ground-truth upper bound.  This module centralises
+how those methods are constructed so every table/figure runner, benchmark
+and example instantiates exactly the same configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.baselines import (
+    LiRegressionSelector,
+    MeCpeSelector,
+    MedianEliminationSelector,
+    OursSelector,
+    UniformSamplingSelector,
+)
+from repro.core.cpe import CPEConfig
+from repro.core.lge import LGEConfig
+from repro.core.selector import BaseWorkerSelector
+
+# Display names used in tables (keys are the internal method identifiers).
+METHOD_LABELS: Dict[str, str] = {
+    "us": "US",
+    "me": "ME",
+    "li": "Li et al.",
+    "me-cpe": "ME-CPE",
+    "ours": "Ours",
+    "ground-truth": "Ground Truth",
+}
+
+#: Order in which methods appear in every reproduced table.
+METHOD_ORDER: List[str] = ["us", "me", "li", "me-cpe", "ours"]
+
+
+@dataclass
+class ExperimentConfig:
+    """Knobs shared by all experiment runners.
+
+    Attributes
+    ----------
+    n_repetitions:
+        Repetitions per (dataset, method) cell; results report the mean.
+    base_seed:
+        Root seed from which all per-cell seeds are derived.
+    target_initial_accuracy:
+        The paper's ``a_T`` (0.5 by default; Figure 5 sweeps it).
+    cpe_epochs:
+        Gradient-descent epochs per CPE update (the paper's ``G = 50``).
+    """
+
+    n_repetitions: int = 3
+    base_seed: int = 7
+    target_initial_accuracy: float = 0.5
+    cpe_epochs: int = 50
+
+    def cpe_config(self) -> CPEConfig:
+        """CPE configuration implied by this experiment configuration."""
+        return CPEConfig(
+            initial_target_mean=self.target_initial_accuracy,
+            n_epochs=self.cpe_epochs,
+        )
+
+    def lge_config(self) -> LGEConfig:
+        """LGE configuration implied by this experiment configuration."""
+        return LGEConfig(target_initial_accuracy=self.target_initial_accuracy)
+
+    def selector_factories(
+        self,
+        methods: Optional[List[str]] = None,
+    ) -> Dict[str, Callable[[int], BaseWorkerSelector]]:
+        """Factories for the requested methods (default: the Table V roster)."""
+        requested = methods if methods is not None else list(METHOD_ORDER)
+        factories: Dict[str, Callable[[int], BaseWorkerSelector]] = {}
+        for method in requested:
+            if method == "us":
+                factories[method] = lambda seed: UniformSamplingSelector()
+            elif method == "me":
+                factories[method] = lambda seed: MedianEliminationSelector(rng=seed)
+            elif method == "li":
+                factories[method] = lambda seed: LiRegressionSelector()
+            elif method == "me-cpe":
+                factories[method] = lambda seed, cfg=self: MeCpeSelector(cpe_config=cfg.cpe_config(), rng=seed)
+            elif method == "ours":
+                factories[method] = lambda seed, cfg=self: OursSelector(
+                    cpe_config=cfg.cpe_config(), lge_config=cfg.lge_config(), rng=seed
+                )
+            else:
+                raise KeyError(f"unknown method {method!r}; known: {sorted(METHOD_LABELS)}")
+        return factories
+
+
+#: Configuration used by the benchmark suite: small repetition count so the
+#: full table regenerates in minutes on a laptop.
+BENCHMARK_CONFIG = ExperimentConfig(n_repetitions=2)
+
+__all__ = ["ExperimentConfig", "METHOD_LABELS", "METHOD_ORDER", "BENCHMARK_CONFIG"]

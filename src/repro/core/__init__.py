@@ -1,0 +1,46 @@
+"""The paper's primary contribution: cross-domain-aware worker selection with training.
+
+Modules
+-------
+:mod:`repro.core.selector`
+    The common selector interface and the :class:`SelectionResult` record
+    shared by the proposed method and every baseline.
+:mod:`repro.core.cpe`
+    Cross-domain-aware Performance Estimation (Algorithm 1): an online
+    maximum-likelihood multivariate-normal model over per-domain accuracies.
+:mod:`repro.core.lge`
+    Learning Gain Estimation (Algorithm 2): per-worker learning-curve fits
+    that project each worker's accuracy to the end of training.
+:mod:`repro.core.elimination`
+    Budgeted Median Elimination (Algorithm 3) plus the round/budget
+    bookkeeping.
+:mod:`repro.core.pipeline`
+    The full selection pipeline (Algorithm 4) combining worker training,
+    CPE, LGE and ME; configurable ablations (``use_cpe`` / ``use_lge``).
+:mod:`repro.core.bounds`
+    The theoretical guarantees of Theorems 1-2 (per-round epsilon and the
+    overall error bound) as checkable functions.
+"""
+
+from repro.core.bounds import delta_schedule, epsilon_for_round, required_tasks_per_worker, round_error_bound
+from repro.core.cpe import CPEConfig, CrossDomainPerformanceEstimator
+from repro.core.elimination import median_eliminate
+from repro.core.lge import LGEConfig, LearningGainEstimator
+from repro.core.pipeline import CrossDomainWorkerSelector, RoundDiagnostics
+from repro.core.selector import BaseWorkerSelector, SelectionResult
+
+__all__ = [
+    "BaseWorkerSelector",
+    "SelectionResult",
+    "CPEConfig",
+    "CrossDomainPerformanceEstimator",
+    "LGEConfig",
+    "LearningGainEstimator",
+    "median_eliminate",
+    "CrossDomainWorkerSelector",
+    "RoundDiagnostics",
+    "epsilon_for_round",
+    "required_tasks_per_worker",
+    "round_error_bound",
+    "delta_schedule",
+]

@@ -1,0 +1,67 @@
+"""Budgeted Median Elimination (Algorithm 3).
+
+Each round the remaining workers are ranked by their estimated target-domain
+accuracy and the best half (``ceil(|W_c| / 2)``) survives.  The function is
+deliberately tiny — the intelligence lives in the estimates it is fed — but
+it is shared by the proposed method, the ME baseline and the ME-CPE
+ablation so that every variant eliminates identically.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+
+def median_eliminate(
+    worker_ids: Sequence[str],
+    estimated_accuracies: Sequence[float],
+    keep: int | None = None,
+) -> List[str]:
+    """Keep the best half of the workers by estimated accuracy.
+
+    Parameters
+    ----------
+    worker_ids:
+        The remaining workers ``W_c``.
+    estimated_accuracies:
+        One estimate per worker, aligned with ``worker_ids``.
+    keep:
+        Override for the number of survivors; defaults to
+        ``ceil(len(worker_ids) / 2)`` (Algorithm 3, line 2).
+
+    Returns
+    -------
+    list of str
+        The surviving worker ids ``W_{c+1}``, ordered from best to worst
+        estimate (ties broken by worker id for determinism).
+    """
+    ids = list(worker_ids)
+    estimates = list(estimated_accuracies)
+    if len(ids) != len(estimates):
+        raise ValueError("worker_ids and estimated_accuracies must have equal length")
+    if not ids:
+        raise ValueError("cannot eliminate from an empty worker set")
+    n_keep = keep if keep is not None else math.ceil(len(ids) / 2)
+    if n_keep <= 0:
+        raise ValueError("the number of survivors must be positive")
+    n_keep = min(n_keep, len(ids))
+    ranked = sorted(zip(ids, estimates), key=lambda pair: (-pair[1], pair[0]))
+    return [worker_id for worker_id, _ in ranked[:n_keep]]
+
+
+def elimination_trajectory(pool_size: int, k: int) -> List[int]:
+    """Pool sizes at the start of each round until ``k`` or fewer workers remain.
+
+    Useful for validating budget schedules and for the theoretical-bound
+    benchmarks: ``[|W_1|, |W_2|, ...]`` with ``|W_{c+1}| = ceil(|W_c| / 2)``.
+    """
+    if pool_size <= 0 or k <= 0:
+        raise ValueError("pool_size and k must be positive")
+    sizes = [pool_size]
+    while sizes[-1] > k:
+        sizes.append(math.ceil(sizes[-1] / 2))
+    return sizes
+
+
+__all__ = ["median_eliminate", "elimination_trajectory"]

@@ -1,0 +1,91 @@
+"""Common selector interface.
+
+Every worker-selection strategy — the paper's method, its ablations and all
+baselines — implements :class:`BaseWorkerSelector`: given an
+:class:`~repro.platform.session.AnnotationEnvironment` (which hides latent
+worker accuracies and enforces the budget) it returns a
+:class:`SelectionResult` naming the chosen workers.  The experiment harness
+then evaluates every result identically, so methods can only differ in *whom*
+they pick, never in how they are scored.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.platform.session import AnnotationEnvironment
+
+
+@dataclass
+class SelectionResult:
+    """Outcome of one selection run.
+
+    Attributes
+    ----------
+    method:
+        Name of the selector that produced the result.
+    selected_worker_ids:
+        The chosen workers ``W_T`` (length ``k`` unless the pool is smaller).
+    estimated_accuracies:
+        The selector's final internal estimate per selected worker, when the
+        method produces one (used for diagnostics, never for evaluation).
+    spent_budget:
+        Learning-task assignments consumed.
+    n_rounds:
+        Number of assignment rounds the selector ran.
+    diagnostics:
+        Free-form per-method extras (e.g. per-round survivor lists, fitted
+        correlations) used by the report generators.
+    """
+
+    method: str
+    selected_worker_ids: List[str]
+    estimated_accuracies: Dict[str, float] = field(default_factory=dict)
+    spent_budget: int = 0
+    n_rounds: int = 0
+    diagnostics: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.selected_worker_ids:
+            raise ValueError("a selection result must contain at least one worker")
+        if len(set(self.selected_worker_ids)) != len(self.selected_worker_ids):
+            raise ValueError("selected_worker_ids must not contain duplicates")
+
+
+class BaseWorkerSelector(abc.ABC):
+    """Abstract base class for every worker-selection strategy."""
+
+    #: Human-readable method name used in result tables.
+    name: str = "base"
+
+    @abc.abstractmethod
+    def select(self, environment: AnnotationEnvironment, k: Optional[int] = None) -> SelectionResult:
+        """Run the selection protocol against ``environment`` and pick ``k`` workers.
+
+        Implementations must respect the environment's budget (assignments
+        beyond ``B`` raise) and must not access any latent worker state.
+        """
+
+    # ------------------------------------------------------------------ #
+    def resolve_k(self, environment: AnnotationEnvironment, k: Optional[int]) -> int:
+        """The selection size: explicit ``k`` or the environment schedule's default."""
+        resolved = k if k is not None else environment.schedule.k
+        if resolved <= 0:
+            raise ValueError("k must be positive")
+        return min(resolved, len(environment.worker_ids))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def top_k_by_score(scores: Dict[str, float], k: int) -> List[str]:
+    """Workers with the ``k`` highest scores (stable for ties by worker id)."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+    return [worker_id for worker_id, _ in ranked[:k]]
+
+
+__all__ = ["BaseWorkerSelector", "SelectionResult", "top_k_by_score"]

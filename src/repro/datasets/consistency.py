@@ -1,0 +1,68 @@
+"""Dataset consistency analysis (Table IV's Pearson check).
+
+The paper validates its synthetic datasets by bucketing workers' initial
+target-domain accuracies and requiring the Pearson correlation between the
+RW-1 bucket distribution and every synthetic dataset's bucket distribution
+to exceed 0.75.  This module reproduces that analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.datasets.base import DatasetInstance
+from repro.stats.correlation import bucketed_pearson
+
+
+def dataset_target_accuracies(instance: DatasetInstance, stage: str = "first-batch") -> np.ndarray:
+    """Target-domain accuracies of every worker at a given training stage.
+
+    Parameters
+    ----------
+    stage:
+        ``"first-batch"`` (after the first batch of learning tasks — the
+        quantity the paper buckets), ``"initial"`` (before any training) or
+        ``"final"`` (after the full training schedule).
+    """
+    if stage in ("first-batch", "first_batch"):
+        return instance.first_batch_target_accuracies()
+    if stage == "initial":
+        return instance.initial_target_accuracies()
+    if stage == "final":
+        return instance.final_target_accuracies()
+    raise ValueError(f"stage must be 'first-batch', 'initial' or 'final', got {stage!r}")
+
+
+def consistency_report(
+    reference: DatasetInstance,
+    candidates: Sequence[DatasetInstance],
+    n_buckets: int = 10,
+    threshold: float = 0.75,
+) -> List[Dict[str, object]]:
+    """Pearson consistency of each candidate dataset against a reference.
+
+    Returns one row per candidate with the bucketed Pearson correlation and
+    whether it clears the paper's 0.75 threshold.
+    """
+    reference_accuracies = dataset_target_accuracies(reference)
+    rows: List[Dict[str, object]] = []
+    for candidate in candidates:
+        correlation = bucketed_pearson(
+            reference_accuracies,
+            dataset_target_accuracies(candidate),
+            n_buckets=n_buckets,
+        )
+        rows.append(
+            {
+                "reference": reference.name,
+                "candidate": candidate.name,
+                "pearson": correlation,
+                "passes_threshold": bool(correlation > threshold),
+            }
+        )
+    return rows
+
+
+__all__ = ["consistency_report", "dataset_target_accuracies"]

@@ -1,0 +1,46 @@
+"""Dataset registry: look up any of the six evaluation datasets by name."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.datasets.base import DatasetInstance, DatasetSpec
+from repro.datasets.realworld import rw1_spec, rw2_spec
+from repro.datasets.synthetic import synthetic_spec
+from repro.stats.rng import SeedLike
+
+DATASET_NAMES: List[str] = ["RW-1", "RW-2", "S-1", "S-2", "S-3", "S-4"]
+
+
+def get_spec(name: str) -> DatasetSpec:
+    """Return the specification of a dataset by (case-insensitive) name."""
+    canonical = name.strip().upper()
+    builders = {
+        "RW-1": rw1_spec,
+        "RW-2": rw2_spec,
+        "S-1": lambda: synthetic_spec("S-1"),
+        "S-2": lambda: synthetic_spec("S-2"),
+        "S-3": lambda: synthetic_spec("S-3"),
+        "S-4": lambda: synthetic_spec("S-4"),
+    }
+    if canonical not in builders:
+        raise KeyError(f"unknown dataset {name!r}; available: {', '.join(DATASET_NAMES)}")
+    return builders[canonical]()
+
+
+def load_dataset(
+    name: str,
+    seed: SeedLike = 0,
+    k: Optional[int] = None,
+    tasks_per_batch: Optional[int] = None,
+) -> DatasetInstance:
+    """Instantiate a dataset by name with optional ``k`` / ``Q`` overrides."""
+    return get_spec(name).instantiate(seed=seed, k=k, tasks_per_batch=tasks_per_batch)
+
+
+def all_specs() -> Dict[str, DatasetSpec]:
+    """All six canonical dataset specifications keyed by name."""
+    return {name: get_spec(name) for name in DATASET_NAMES}
+
+
+__all__ = ["DATASET_NAMES", "get_spec", "load_dataset", "all_specs"]

@@ -1,0 +1,71 @@
+"""Dataset statistics (Table II and Table IV).
+
+Table II lists, per dataset, the worker-pool size, the per-batch learning
+task count ``Q``, the selection size ``k``, the number of batches and the
+total budget ``B``.  Table IV lists, per dataset and domain, the mean and
+standard deviation of worker accuracy.  Both are derived here from dataset
+specs / instances so the benchmark harness can print them side by side with
+the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.base import DatasetInstance, DatasetSpec
+
+
+def dataset_statistics_row(spec: DatasetSpec) -> Dict[str, int]:
+    """One Table II row: ``|W|``, ``Q``, ``k``, #batches and ``B``."""
+    return {"dataset": spec.name, **spec.statistics()}
+
+
+def dataset_statistics_table(specs: Sequence[DatasetSpec]) -> List[Dict[str, int]]:
+    """Table II for a collection of dataset specs."""
+    return [dataset_statistics_row(spec) for spec in specs]
+
+
+def domain_moments(instance: DatasetInstance) -> Dict[str, Tuple[float, float]]:
+    """Per-domain (mean, std) of worker accuracy for one dataset instance.
+
+    Prior-domain moments are computed from the historical profiles and the
+    target-domain moments from the latent accuracy after the first batch of
+    learning tasks — exactly the quantities Table IV reports ("calculated
+    based on the first batch learning task results").
+    """
+    prior_matrix = instance.prior_accuracy_matrix()
+    moments: Dict[str, Tuple[float, float]] = {}
+    for column, domain in enumerate(instance.prior_domains):
+        values = prior_matrix[:, column]
+        values = values[~np.isnan(values)]
+        moments[domain] = (float(values.mean()), float(values.std()))
+    target = instance.first_batch_target_accuracies()
+    moments[instance.target_domain] = (float(target.mean()), float(target.std()))
+    return moments
+
+
+def domain_moments_table(instances: Sequence[DatasetInstance]) -> List[Dict[str, object]]:
+    """Table IV: one row per dataset with per-domain (mean, std) pairs.
+
+    Domain names differ across datasets, so the row keys are positional
+    (``prior-1`` .. ``prior-D``, ``target``) to match the paper's layout.
+    """
+    rows: List[Dict[str, object]] = []
+    for instance in instances:
+        moments = domain_moments(instance)
+        row: Dict[str, object] = {"dataset": instance.name}
+        for index, domain in enumerate(instance.prior_domains, start=1):
+            row[f"prior-{index}"] = moments[domain]
+        row["target"] = moments[instance.target_domain]
+        rows.append(row)
+    return rows
+
+
+__all__ = [
+    "dataset_statistics_row",
+    "dataset_statistics_table",
+    "domain_moments",
+    "domain_moments_table",
+]

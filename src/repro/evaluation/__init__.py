@@ -1,0 +1,34 @@
+"""Evaluation of selection results.
+
+The paper's headline metric is the average annotation accuracy of the
+selected workers on the target-domain working tasks after training
+(Table V); this package computes it plus the surrounding diagnostics:
+
+* relative improvement of one method over another (the percentages quoted
+  throughout Section V);
+* regret against the ground-truth top-``k`` and the overlap (precision@k)
+  with that set;
+* a comparison runner that evaluates many selectors on one dataset over
+  repeated runs with matched seeds.
+"""
+
+from repro.evaluation.comparison import MethodComparison, compare_selectors, evaluate_selector
+from repro.evaluation.ground_truth import ground_truth_accuracy, ground_truth_selection
+from repro.evaluation.metrics import (
+    precision_at_k,
+    regret,
+    relative_improvement,
+    selection_accuracy,
+)
+
+__all__ = [
+    "selection_accuracy",
+    "relative_improvement",
+    "regret",
+    "precision_at_k",
+    "ground_truth_selection",
+    "ground_truth_accuracy",
+    "evaluate_selector",
+    "compare_selectors",
+    "MethodComparison",
+]

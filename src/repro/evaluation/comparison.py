@@ -1,0 +1,108 @@
+"""Run several selectors on one dataset and compare them.
+
+The experiment harness (Table V, Figures 6-7) repeatedly needs the same
+loop: for every method and repetition, build a fresh environment from the
+dataset instance (matched seeds so all methods face the same simulated
+answers where their assignments coincide), run the selector, and score the
+selection.  :func:`compare_selectors` implements that loop once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.selector import BaseWorkerSelector
+from repro.datasets.base import DatasetInstance
+from repro.evaluation.metrics import precision_at_k, selection_accuracy
+from repro.stats.rng import SeedLike, derive_seed
+
+SelectorFactory = Callable[[int], BaseWorkerSelector]
+
+
+@dataclass
+class MethodComparison:
+    """Aggregated results of one method on one dataset configuration."""
+
+    method: str
+    accuracies: List[float] = field(default_factory=list)
+    precisions: List[float] = field(default_factory=list)
+    selections: List[List[str]] = field(default_factory=list)
+
+    @property
+    def mean_accuracy(self) -> float:
+        return float(np.mean(self.accuracies)) if self.accuracies else float("nan")
+
+    @property
+    def std_accuracy(self) -> float:
+        return float(np.std(self.accuracies)) if self.accuracies else float("nan")
+
+    @property
+    def mean_precision(self) -> float:
+        return float(np.mean(self.precisions)) if self.precisions else float("nan")
+
+
+def evaluate_selector(
+    instance: DatasetInstance,
+    selector: BaseWorkerSelector,
+    run_seed: SeedLike = 0,
+    k: Optional[int] = None,
+) -> Dict[str, object]:
+    """Run one selector once and return its accuracy, precision and selection."""
+    environment = instance.environment(run_seed=run_seed)
+    result = selector.select(environment, k=k)
+    accuracy = selection_accuracy(environment, result)
+    precision = precision_at_k(environment, result, k=k)
+    return {
+        "method": selector.name,
+        "accuracy": accuracy,
+        "precision": precision,
+        "selected": list(result.selected_worker_ids),
+        "result": result,
+    }
+
+
+def compare_selectors(
+    instance: DatasetInstance,
+    selector_factories: Mapping[str, SelectorFactory],
+    n_repetitions: int = 3,
+    k: Optional[int] = None,
+    base_seed: SeedLike = 0,
+) -> Dict[str, MethodComparison]:
+    """Evaluate every selector over ``n_repetitions`` matched runs.
+
+    Parameters
+    ----------
+    instance:
+        The dataset instance (fixed worker pool) all methods share.
+    selector_factories:
+        Mapping from method name to a factory ``seed -> selector``; a fresh
+        selector is built per repetition so stateful methods cannot leak
+        information across runs.
+    n_repetitions:
+        Number of repetitions; the per-repetition environment seed is shared
+        across methods so they face the same simulated answer noise.
+    k:
+        Optional selection-size override (Figure 6 sweeps this).
+    """
+    if n_repetitions <= 0:
+        raise ValueError("n_repetitions must be positive")
+    comparisons: Dict[str, MethodComparison] = {
+        name: MethodComparison(method=name) for name in selector_factories
+    }
+    for repetition in range(n_repetitions):
+        run_seed = derive_seed(base_seed, instance.name, "rep", repetition)
+        for name, factory in selector_factories.items():
+            selector_seed = derive_seed(base_seed, instance.name, name, repetition)
+            selector = factory(selector_seed)
+            evaluation = evaluate_selector(instance, selector, run_seed=run_seed, k=k)
+            comparison = comparisons[name]
+            comparison.accuracies.append(float(evaluation["accuracy"]))
+            comparison.precisions.append(float(evaluation["precision"]))
+            comparison.selections.append(list(evaluation["selected"]))
+    return comparisons
+
+
+__all__ = ["MethodComparison", "compare_selectors", "evaluate_selector", "SelectorFactory"]

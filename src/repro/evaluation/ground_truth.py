@@ -1,0 +1,25 @@
+"""Ground-truth selection values (Table V's bottom row)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.datasets.base import DatasetInstance
+from repro.platform.session import AnnotationEnvironment
+
+
+def ground_truth_selection(environment: AnnotationEnvironment, k: int) -> List[str]:
+    """The truly best ``k`` workers by fully trained accuracy."""
+    return environment.ground_truth_top_k(k)
+
+
+def ground_truth_accuracy(instance: DatasetInstance, k: int | None = None) -> float:
+    """Mean fully trained accuracy of the ground-truth top-``k`` workers.
+
+    Uses the dataset-instance oracle directly so it can be computed without
+    spending any budget (the value is a property of the worker pool).
+    """
+    return instance.ground_truth_mean_accuracy(k)
+
+
+__all__ = ["ground_truth_selection", "ground_truth_accuracy"]

@@ -1,0 +1,61 @@
+"""Selection-quality metrics.
+
+All metrics operate on the evaluation view of the environment (latent
+final accuracies), mirroring how the paper scores methods: the average
+annotation accuracy of the selected workers on the working tasks after the
+full training schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.selector import SelectionResult
+from repro.platform.session import AnnotationEnvironment
+
+
+def selection_accuracy(
+    environment: AnnotationEnvironment,
+    result: SelectionResult,
+    empirical: bool = False,
+) -> float:
+    """Average working-task accuracy of the workers a method selected."""
+    outcome = environment.evaluate_selection(result.selected_worker_ids, empirical=empirical)
+    return outcome.mean_accuracy
+
+
+def relative_improvement(ours: float, baseline: float) -> float:
+    """Relative improvement ``(ours - baseline) / baseline`` (the paper's "x% up" numbers)."""
+    if baseline <= 0:
+        raise ValueError("baseline accuracy must be positive")
+    return (ours - baseline) / baseline
+
+
+def regret(environment: AnnotationEnvironment, result: SelectionResult, k: int | None = None) -> float:
+    """Gap between the ground-truth top-k mean accuracy and the achieved one (never negative in expectation)."""
+    resolved_k = k if k is not None else len(result.selected_worker_ids)
+    ground_truth_ids = environment.ground_truth_top_k(resolved_k)
+    best = environment.evaluate_selection(ground_truth_ids).mean_accuracy
+    achieved = environment.evaluate_selection(result.selected_worker_ids).mean_accuracy
+    return best - achieved
+
+
+def precision_at_k(environment: AnnotationEnvironment, result: SelectionResult, k: int | None = None) -> float:
+    """Fraction of the selected workers that belong to the ground-truth top-k set."""
+    resolved_k = k if k is not None else len(result.selected_worker_ids)
+    ground_truth_ids = set(environment.ground_truth_top_k(resolved_k))
+    if not result.selected_worker_ids:
+        raise ValueError("the selection result is empty")
+    overlap = sum(1 for worker_id in result.selected_worker_ids if worker_id in ground_truth_ids)
+    return overlap / len(result.selected_worker_ids)
+
+
+def mean_of(values: Sequence[float]) -> float:
+    """Plain mean with an explicit error for empty input (avoids silent NaN)."""
+    values = list(values)
+    if not values:
+        raise ValueError("cannot average an empty sequence")
+    return sum(values) / len(values)
+
+
+__all__ = ["selection_accuracy", "relative_improvement", "regret", "precision_at_k", "mean_of"]

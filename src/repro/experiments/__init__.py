@@ -1,0 +1,46 @@
+"""Experiment harness: one runner per table / figure of the paper.
+
+Every runner returns plain Python data structures (lists of dicts) so they
+can be consumed by the benchmark suite, the CLI, tests and notebooks alike;
+:mod:`repro.experiments.report` renders them as aligned markdown tables.
+
+| Paper artefact | Runner |
+| --- | --- |
+| Table II (dataset statistics)        | :func:`repro.experiments.table2.run_table2` |
+| Table IV (moments + consistency)     | :func:`repro.experiments.table4.run_table4` |
+| Table V (main results + ablation)    | :func:`repro.experiments.table5.run_table5` |
+| Figure 5 (a_T sensitivity)           | :func:`repro.experiments.figure5.run_figure5` |
+| Figure 6 (k sensitivity)             | :func:`repro.experiments.figure6.run_figure6` |
+| Figure 7 (Q sensitivity)             | :func:`repro.experiments.figure7.run_figure7` |
+| Section V-H runtime                  | :func:`repro.experiments.runtime.run_runtime` |
+| Section V-H correlations             | :func:`repro.experiments.correlation.run_correlation_recovery` |
+| Section V-H training gain            | :func:`repro.experiments.training_gain.run_training_gain` |
+"""
+
+from repro.experiments.correlation import run_correlation_recovery
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.report import format_table, results_to_markdown
+from repro.experiments.runner import DatasetResult, run_method_comparison
+from repro.experiments.runtime import run_runtime
+from repro.experiments.table2 import run_table2
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5
+from repro.experiments.training_gain import run_training_gain
+
+__all__ = [
+    "DatasetResult",
+    "run_method_comparison",
+    "run_table2",
+    "run_table4",
+    "run_table5",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_runtime",
+    "run_correlation_recovery",
+    "run_training_gain",
+    "format_table",
+    "results_to_markdown",
+]

@@ -1,0 +1,53 @@
+"""Figure 6: sensitivity to the number of selected workers ``k``.
+
+The paper sweeps ``k`` per dataset (larger ``k`` means fewer elimination
+rounds) and plots every method plus the ground truth.  The sweep values per
+dataset follow Section V-G.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import ExperimentConfig, METHOD_ORDER
+from repro.experiments.runner import DatasetResult, run_method_comparison
+
+#: k values swept per dataset (Section V-G / Figure 6 sub-plots).
+FIGURE6_K_VALUES: Dict[str, List[int]] = {
+    "RW-1": [7, 14],
+    "RW-2": [9, 18],
+    "S-1": [5, 10, 20],
+    "S-2": [5, 10, 20],
+    "S-3": [5, 10, 20, 40],
+    "S-4": [5, 10, 20, 40],
+}
+
+
+def run_figure6(
+    dataset_names: Optional[Sequence[str]] = None,
+    k_values: Optional[Dict[str, List[int]]] = None,
+    config: Optional[ExperimentConfig] = None,
+    methods: Optional[List[str]] = None,
+) -> List[Dict[str, object]]:
+    """Sweep ``k`` per dataset and record every method's accuracy.
+
+    Returns one row per (dataset, k) pair with a column per method plus the
+    ground truth — the series plotted in Figure 6 (a)-(f).
+    """
+    sweep = dict(FIGURE6_K_VALUES if k_values is None else k_values)
+    names = list(dataset_names) if dataset_names is not None else list(sweep.keys())
+    method_list = methods if methods is not None else list(METHOD_ORDER)
+    rows: List[Dict[str, object]] = []
+    for dataset in names:
+        for k in sweep.get(dataset, []):
+            results = run_method_comparison([dataset], config=config, methods=method_list, k_override=k)
+            result: DatasetResult = results[dataset]
+            row: Dict[str, object] = {"dataset": dataset, "k": k}
+            for method in method_list:
+                row[method] = result.mean_accuracy(method)
+            row["ground-truth"] = result.ground_truth
+            rows.append(row)
+    return rows
+
+
+__all__ = ["run_figure6", "FIGURE6_K_VALUES"]

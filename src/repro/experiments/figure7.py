@@ -1,0 +1,67 @@
+"""Figure 7: sensitivity to the number of learning tasks per batch ``Q``.
+
+``Q`` controls the total budget (``B = n * Q * |W|``); the paper sweeps
+``Q`` over {16, 20, 30, 40} on the four synthetic datasets and observes
+that the gap between the proposed method and the baselines shrinks as the
+budget grows — cross-domain information matters most when golden questions
+are scarce.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import ExperimentConfig, METHOD_ORDER
+from repro.experiments.runner import DatasetResult, run_method_comparison
+
+DEFAULT_Q_VALUES = (16, 20, 30, 40)
+FIGURE7_DATASETS = ("S-1", "S-2", "S-3", "S-4")
+
+
+def run_figure7(
+    dataset_names: Optional[Sequence[str]] = None,
+    q_values: Sequence[int] = DEFAULT_Q_VALUES,
+    config: Optional[ExperimentConfig] = None,
+    methods: Optional[List[str]] = None,
+) -> List[Dict[str, object]]:
+    """Sweep ``Q`` on the synthetic datasets and record every method's accuracy.
+
+    Returns one row per (dataset, Q) pair with a column per method plus the
+    ground truth — the series plotted in Figure 7 (a)-(d).
+    """
+    names = list(dataset_names) if dataset_names is not None else list(FIGURE7_DATASETS)
+    method_list = methods if methods is not None else list(METHOD_ORDER)
+    rows: List[Dict[str, object]] = []
+    for dataset in names:
+        for q in q_values:
+            if q <= 0:
+                raise ValueError(f"Q values must be positive, got {q}")
+            results = run_method_comparison(
+                [dataset], config=config, methods=method_list, q_override=int(q)
+            )
+            result: DatasetResult = results[dataset]
+            row: Dict[str, object] = {"dataset": dataset, "Q": int(q)}
+            for method in method_list:
+                row[method] = result.mean_accuracy(method)
+            row["ground-truth"] = result.ground_truth
+            rows.append(row)
+    return rows
+
+
+def gap_to_best_baseline(rows: Sequence[Dict[str, object]], dataset: str) -> Dict[int, float]:
+    """Gap between the proposed method and the best baseline per ``Q`` value.
+
+    Used by the Figure 7 benchmark to check the paper's observation that the
+    gap narrows as the budget grows.
+    """
+    gaps: Dict[int, float] = {}
+    baselines = [m for m in METHOD_ORDER if m != "ours"]
+    for row in rows:
+        if row["dataset"] != dataset:
+            continue
+        best_baseline = max(float(row[m]) for m in baselines if m in row)
+        gaps[int(row["Q"])] = float(row["ours"]) - best_baseline
+    return gaps
+
+
+__all__ = ["run_figure7", "gap_to_best_baseline", "DEFAULT_Q_VALUES", "FIGURE7_DATASETS"]

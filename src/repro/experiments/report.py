@@ -1,0 +1,71 @@
+"""Markdown rendering of experiment results.
+
+The benchmark harness and the CLI both print the reproduced tables; keeping
+the formatting in one place guarantees they agree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.config import METHOD_LABELS, METHOD_ORDER
+from repro.experiments.runner import DatasetResult
+
+
+def format_table(rows: Sequence[Mapping[str, object]], columns: Optional[List[str]] = None) -> str:
+    """Render a list of dict rows as an aligned markdown table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered_rows = [[_format_cell(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(rendered[i]) for rendered in rendered_rows))
+        for i, column in enumerate(columns)
+    ]
+    header = "| " + " | ".join(str(column).ljust(width) for column, width in zip(columns, widths)) + " |"
+    divider = "|-" + "-|-".join("-" * width for width in widths) + "-|"
+    body = [
+        "| " + " | ".join(cell.ljust(width) for cell, width in zip(rendered, widths)) + " |"
+        for rendered in rendered_rows
+    ]
+    return "\n".join([header, divider, *body])
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if isinstance(value, tuple) and len(value) == 2 and all(isinstance(v, float) for v in value):
+        return f"({value[0]:.2f}, {value[1]:.2f})"
+    return str(value)
+
+
+def results_to_markdown(results: Dict[str, DatasetResult], reference_method: str = "ours") -> str:
+    """Render a Table V-style markdown block from comparison results.
+
+    One row per method (paper order) plus the ground-truth row; each cell is
+    the mean selected-worker accuracy, with the relative improvement of the
+    reference method in parentheses for baseline rows.
+    """
+    dataset_names = list(results.keys())
+    rows: List[Dict[str, object]] = []
+    for method in METHOD_ORDER:
+        row: Dict[str, object] = {"Method": METHOD_LABELS.get(method, method)}
+        for dataset in dataset_names:
+            result = results[dataset]
+            accuracy = result.mean_accuracy(method)
+            if method == reference_method:
+                row[dataset] = f"{accuracy:.3f}"
+            else:
+                uplift = result.relative_improvement(reference_method, method)
+                row[dataset] = f"{accuracy:.3f} ({uplift * 100:+.1f}%)"
+        rows.append(row)
+    ground_truth_row: Dict[str, object] = {"Method": METHOD_LABELS["ground-truth"]}
+    for dataset in dataset_names:
+        ground_truth_row[dataset] = f"{results[dataset].ground_truth:.3f}"
+    rows.append(ground_truth_row)
+    return format_table(rows, columns=["Method", *dataset_names])
+
+
+__all__ = ["format_table", "results_to_markdown"]

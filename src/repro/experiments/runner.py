@@ -1,0 +1,129 @@
+"""Generic experiment runner shared by every table / figure.
+
+The paper reports, per dataset and method, the mean working-task accuracy
+of the selected workers.  :func:`run_method_comparison` implements the
+shared protocol:
+
+* every repetition draws a *fresh* dataset instance (worker pool and task
+  bank) so results average over both the pool draw and the answer noise —
+  the relevant population-level claim, since a single 40-worker pool is a
+  high-variance object;
+* within a repetition every method faces the same environment seed, so the
+  comparison is paired;
+* the ground-truth row is the mean final accuracy of the true top-``k``
+  workers of each drawn pool.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import ExperimentConfig
+from repro.datasets.base import DatasetSpec
+from repro.datasets.registry import get_spec
+from repro.evaluation.metrics import precision_at_k, selection_accuracy
+from repro.stats.rng import derive_seed
+
+
+@dataclass
+class DatasetResult:
+    """All methods' results on one dataset configuration."""
+
+    dataset: str
+    k: int
+    tasks_per_batch: int
+    method_accuracies: Dict[str, List[float]] = field(default_factory=dict)
+    method_precisions: Dict[str, List[float]] = field(default_factory=dict)
+    method_runtimes: Dict[str, List[float]] = field(default_factory=dict)
+    ground_truths: List[float] = field(default_factory=list)
+
+    def mean_accuracy(self, method: str) -> float:
+        values = self.method_accuracies.get(method, [])
+        return float(np.mean(values)) if values else float("nan")
+
+    def mean_precision(self, method: str) -> float:
+        values = self.method_precisions.get(method, [])
+        return float(np.mean(values)) if values else float("nan")
+
+    def mean_runtime(self, method: str) -> float:
+        values = self.method_runtimes.get(method, [])
+        return float(np.mean(values)) if values else float("nan")
+
+    @property
+    def ground_truth(self) -> float:
+        return float(np.mean(self.ground_truths)) if self.ground_truths else float("nan")
+
+    def relative_improvement(self, method: str, baseline: str) -> float:
+        """Relative uplift of ``method`` over ``baseline`` (the paper's percentages)."""
+        base = self.mean_accuracy(baseline)
+        if not np.isfinite(base) or base <= 0:
+            return float("nan")
+        return (self.mean_accuracy(method) - base) / base
+
+
+def run_method_comparison(
+    dataset_names: Sequence[str],
+    config: Optional[ExperimentConfig] = None,
+    methods: Optional[List[str]] = None,
+    k_override: Optional[int] = None,
+    q_override: Optional[int] = None,
+    specs: Optional[Dict[str, DatasetSpec]] = None,
+) -> Dict[str, DatasetResult]:
+    """Run the shared comparison protocol on the named datasets.
+
+    Parameters
+    ----------
+    dataset_names:
+        Datasets to evaluate (any subset of ``repro.DATASET_NAMES``).
+    config:
+        Repetitions, seeds and estimator settings; defaults to
+        :class:`~repro.config.ExperimentConfig`.
+    methods:
+        Method identifiers (default: the Table V roster).
+    k_override, q_override:
+        Selection-size / batch-size overrides used by the Figure 6 and
+        Figure 7 sweeps.
+    specs:
+        Optional pre-built specs keyed by dataset name (used by ablation
+        benchmarks that modify the population); unnamed datasets fall back
+        to the registry.
+    """
+    config = config or ExperimentConfig()
+    factories = config.selector_factories(methods)
+    results: Dict[str, DatasetResult] = {}
+
+    for dataset_name in dataset_names:
+        spec = specs[dataset_name] if specs and dataset_name in specs else get_spec(dataset_name)
+        resolved_k = k_override if k_override is not None else spec.k
+        resolved_q = q_override if q_override is not None else spec.tasks_per_batch
+        if q_override is not None:
+            spec = spec.with_overrides(tasks_per_batch=q_override)
+        result = DatasetResult(dataset=dataset_name, k=resolved_k, tasks_per_batch=resolved_q)
+
+        for repetition in range(config.n_repetitions):
+            instance_seed = derive_seed(config.base_seed, dataset_name, "instance", repetition, resolved_k, resolved_q)
+            instance = spec.instantiate(seed=instance_seed, k=k_override)
+            result.ground_truths.append(instance.ground_truth_mean_accuracy(resolved_k))
+
+            for method_name, factory in factories.items():
+                selector_seed = derive_seed(config.base_seed, dataset_name, method_name, repetition)
+                selector = factory(selector_seed)
+                environment = instance.environment(run_seed=repetition)
+                start = time.perf_counter()
+                selection = selector.select(environment, k=k_override)
+                elapsed = time.perf_counter() - start
+                accuracy = selection_accuracy(environment, selection)
+                precision = precision_at_k(environment, selection, k=resolved_k)
+                result.method_accuracies.setdefault(method_name, []).append(accuracy)
+                result.method_precisions.setdefault(method_name, []).append(precision)
+                result.method_runtimes.setdefault(method_name, []).append(elapsed)
+
+        results[dataset_name] = result
+    return results
+
+
+__all__ = ["DatasetResult", "run_method_comparison"]

@@ -1,0 +1,59 @@
+"""Section V-H: selection runtime as a function of the worker-pool size.
+
+The paper reports 3.9s-28.9s on a Xeon for RW-1 through S-4 and argues the
+cost is negligible against human task-completion time.  We time our own
+implementation on the same datasets; the reproducible claim is the shape
+(monotone growth with ``|W|``, seconds not hours), not the absolute value.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines import OursSelector
+from repro.config import ExperimentConfig
+from repro.datasets.registry import DATASET_NAMES, get_spec
+from repro.stats.rng import derive_seed
+
+#: Runtimes reported by the paper (seconds), for EXPERIMENTS.md comparison.
+PAPER_RUNTIMES: Dict[str, float] = {
+    "RW-1": 3.9,
+    "RW-2": 5.0,
+    "S-1": 6.3,
+    "S-2": 7.8,
+    "S-3": 13.4,
+    "S-4": 28.9,
+}
+
+
+def run_runtime(
+    dataset_names: Optional[Sequence[str]] = None,
+    config: Optional[ExperimentConfig] = None,
+) -> List[Dict[str, object]]:
+    """Time one full selection run of the proposed method per dataset."""
+    names = list(dataset_names) if dataset_names is not None else list(DATASET_NAMES)
+    config = config or ExperimentConfig()
+    rows: List[Dict[str, object]] = []
+    for name in names:
+        spec = get_spec(name)
+        instance = spec.instantiate(seed=derive_seed(config.base_seed, name, "runtime"))
+        selector = OursSelector(
+            cpe_config=config.cpe_config(), lge_config=config.lge_config(), rng=config.base_seed
+        )
+        environment = instance.environment(run_seed=0)
+        start = time.perf_counter()
+        selector.select(environment)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            {
+                "dataset": name,
+                "workers": spec.n_workers,
+                "seconds": elapsed,
+                "paper_seconds": PAPER_RUNTIMES.get(name, float("nan")),
+            }
+        )
+    return rows
+
+
+__all__ = ["run_runtime", "PAPER_RUNTIMES"]

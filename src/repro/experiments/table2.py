@@ -1,0 +1,46 @@
+"""Table II: dataset statistics.
+
+Reports, for each dataset, the worker-pool size ``|W|``, learning tasks per
+batch ``Q``, selection size ``k``, total number of batches and total budget
+``B`` — all derived from the dataset specifications and the Table II
+conventions implemented in :mod:`repro.platform.budget`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.datasets.registry import DATASET_NAMES, get_spec
+from repro.datasets.statistics import dataset_statistics_row
+
+#: The values printed in the paper's Table II, for side-by-side comparison.
+PAPER_TABLE_II: Dict[str, Dict[str, int]] = {
+    "RW-1": {"workers": 27, "Q": 10, "k": 7, "batches": 3, "B": 540},
+    "RW-2": {"workers": 35, "Q": 10, "k": 9, "batches": 3, "B": 700},
+    "S-1": {"workers": 40, "Q": 20, "k": 5, "batches": 7, "B": 2400},
+    "S-2": {"workers": 50, "Q": 20, "k": 5, "batches": 7, "B": 3000},
+    "S-3": {"workers": 80, "Q": 20, "k": 5, "batches": 15, "B": 6400},
+    "S-4": {"workers": 160, "Q": 20, "k": 5, "batches": 31, "B": 16000},
+}
+
+
+def run_table2(dataset_names: Optional[Sequence[str]] = None) -> List[Dict[str, object]]:
+    """Regenerate Table II and attach the paper's values for comparison."""
+    names = list(dataset_names) if dataset_names is not None else list(DATASET_NAMES)
+    rows: List[Dict[str, object]] = []
+    for name in names:
+        row = dataset_statistics_row(get_spec(name))
+        paper = PAPER_TABLE_II.get(name, {})
+        row["paper_B"] = paper.get("B", "n/a")
+        row["paper_batches"] = paper.get("batches", "n/a")
+        row["matches_paper"] = bool(
+            paper
+            and paper["B"] == row["B"]
+            and paper["batches"] == row["batches"]
+            and paper["workers"] == row["workers"]
+        )
+        rows.append(row)
+    return rows
+
+
+__all__ = ["run_table2", "PAPER_TABLE_II"]

@@ -1,0 +1,54 @@
+"""Table V: main results and the ablation study.
+
+For every dataset, all five methods (US, ME, Li et al., ME-CPE, Ours) are
+run under identical budgets and the mean selected-worker accuracy on the
+working tasks is reported together with the ground-truth upper bound and
+the relative improvement of the proposed method over each baseline — the
+layout of the paper's Table V.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import ExperimentConfig, METHOD_ORDER
+from repro.datasets.registry import DATASET_NAMES
+from repro.experiments.runner import DatasetResult, run_method_comparison
+
+#: Accuracies printed in the paper's Table V (for EXPERIMENTS.md comparison).
+PAPER_TABLE_V: Dict[str, Dict[str, float]] = {
+    "RW-1": {"us": 0.764, "me": 0.771, "li": 0.771, "me-cpe": 0.781, "ours": 0.798, "ground-truth": 0.914},
+    "RW-2": {"us": 0.956, "me": 0.944, "li": 0.936, "me-cpe": 0.950, "ours": 0.961, "ground-truth": 1.000},
+    "S-1": {"us": 0.765, "me": 0.720, "li": 0.780, "me-cpe": 0.785, "ours": 0.830, "ground-truth": 0.885},
+    "S-2": {"us": 0.775, "me": 0.785, "li": 0.805, "me-cpe": 0.790, "ours": 0.828, "ground-truth": 0.875},
+    "S-3": {"us": 0.815, "me": 0.795, "li": 0.845, "me-cpe": 0.838, "ours": 0.850, "ground-truth": 0.915},
+    "S-4": {"us": 0.865, "me": 0.880, "li": 0.870, "me-cpe": 0.875, "ours": 0.886, "ground-truth": 0.975},
+}
+
+
+def run_table5(
+    dataset_names: Optional[Sequence[str]] = None,
+    config: Optional[ExperimentConfig] = None,
+) -> Dict[str, DatasetResult]:
+    """Regenerate Table V (all methods, all requested datasets)."""
+    names = list(dataset_names) if dataset_names is not None else list(DATASET_NAMES)
+    return run_method_comparison(names, config=config, methods=list(METHOD_ORDER))
+
+
+def table5_rows(results: Dict[str, DatasetResult]) -> List[Dict[str, object]]:
+    """Flatten comparison results into printable rows (one per method)."""
+    rows: List[Dict[str, object]] = []
+    datasets = list(results.keys())
+    for method in METHOD_ORDER:
+        row: Dict[str, object] = {"method": method}
+        for dataset in datasets:
+            row[dataset] = results[dataset].mean_accuracy(method)
+        rows.append(row)
+    ground_truth: Dict[str, object] = {"method": "ground-truth"}
+    for dataset in datasets:
+        ground_truth[dataset] = results[dataset].ground_truth
+    rows.append(ground_truth)
+    return rows
+
+
+__all__ = ["run_table5", "table5_rows", "PAPER_TABLE_V"]

@@ -1,0 +1,104 @@
+"""Bayesian Knowledge Tracing (BKT).
+
+The paper's related-work section surveys BKT (Corbett & Anderson, 1994) as
+an alternative family of knowledge-tracing models.  We implement the
+classic four-parameter model so that the LGE component can be ablated
+against it (see ``benchmarks/bench_ablation_learning_models.py``): the
+worker's mastery of the target domain is a hidden binary state updated by
+Bayes' rule after every observed answer.
+
+Parameters
+----------
+p_init:
+    Probability the skill is already mastered before any training.
+p_learn:
+    Probability of transitioning from unmastered to mastered after a task.
+p_slip:
+    Probability of answering incorrectly despite mastery.
+p_guess:
+    Probability of answering correctly without mastery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+
+def _validate_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value}")
+
+
+@dataclass
+class BayesianKnowledgeTracing:
+    """Classic four-parameter BKT over a single skill (the target domain)."""
+
+    p_init: float = 0.2
+    p_learn: float = 0.15
+    p_slip: float = 0.1
+    p_guess: float = 0.25
+
+    def __post_init__(self) -> None:
+        for name in ("p_init", "p_learn", "p_slip", "p_guess"):
+            _validate_probability(name, getattr(self, name))
+        if self.p_guess >= 1.0 - self.p_slip:
+            # Degenerate ("model collapse") configurations make mastery
+            # unidentifiable; keep them out.
+            raise ValueError("require p_guess < 1 - p_slip for an identifiable model")
+
+    # ------------------------------------------------------------------ #
+    def correct_probability(self, p_mastery: float) -> float:
+        """Probability of a correct answer given the current mastery belief."""
+        _validate_probability("p_mastery", p_mastery)
+        return p_mastery * (1.0 - self.p_slip) + (1.0 - p_mastery) * self.p_guess
+
+    def posterior_mastery(self, p_mastery: float, correct: bool) -> float:
+        """Bayes update of the mastery belief after observing one answer."""
+        _validate_probability("p_mastery", p_mastery)
+        if correct:
+            numerator = p_mastery * (1.0 - self.p_slip)
+            denominator = self.correct_probability(p_mastery)
+        else:
+            numerator = p_mastery * self.p_slip
+            denominator = 1.0 - self.correct_probability(p_mastery)
+        if denominator < 1e-12:
+            posterior = p_mastery
+        else:
+            posterior = numerator / denominator
+        # Learning transition applied after the observation.
+        return posterior + (1.0 - posterior) * self.p_learn
+
+    def trace(self, responses: Sequence[int]) -> List[float]:
+        """Mastery beliefs after each response, starting from ``p_init``."""
+        belief = self.p_init
+        trajectory = []
+        for response in responses:
+            if response not in (0, 1, True, False):
+                raise ValueError("responses must be binary")
+            belief = self.posterior_mastery(belief, bool(response))
+            trajectory.append(belief)
+        return trajectory
+
+    def predicted_accuracy(self, responses: Sequence[int]) -> float:
+        """Predicted accuracy on the *next* task after seeing ``responses``."""
+        belief = self.p_init if not len(responses) else self.trace(responses)[-1]
+        return self.correct_probability(belief)
+
+    def expected_accuracy_curve(self, n_tasks: int) -> np.ndarray:
+        """Expected accuracy after ``0..n_tasks`` tasks, marginalising answers.
+
+        Because the learning transition fires after every task regardless of
+        correctness, the marginal mastery follows the closed form
+        ``1 - (1 - p_init) * (1 - p_learn)^t``.
+        """
+        if n_tasks < 0:
+            raise ValueError("n_tasks must be non-negative")
+        steps = np.arange(n_tasks + 1)
+        mastery = 1.0 - (1.0 - self.p_init) * (1.0 - self.p_learn) ** steps
+        return mastery * (1.0 - self.p_slip) + (1.0 - mastery) * self.p_guess
+
+
+__all__ = ["BayesianKnowledgeTracing"]

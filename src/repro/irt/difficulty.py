@@ -1,0 +1,42 @@
+"""Difficulty-parameter initialisation.
+
+Section V-C of the paper initialises per-domain difficulties from the
+average annotation accuracy ``a_d`` observed on the domain:
+
+    beta_d = ln(1 / a_d - 1)
+
+so that a fresh worker (``K = 0``, hence ``theta = 0``) has predicted
+accuracy exactly ``a_d``.  For the target domain the paper sets
+``beta_T = 0`` i.e. ``a_T = 0.5``, the natural prior for Yes/No questions,
+and Figure 5 studies sensitivity to this choice.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+_EPS = 1e-6
+
+
+def difficulty_from_accuracy(accuracy: float | Sequence[float]) -> float | np.ndarray:
+    """Map an initial accuracy ``a`` to the Rasch difficulty ``beta = ln(1/a - 1)``."""
+    array = np.clip(np.asarray(accuracy, dtype=float), _EPS, 1.0 - _EPS)
+    result = np.log(1.0 / array - 1.0)
+    return float(result) if result.ndim == 0 else result
+
+
+def accuracy_from_difficulty(difficulty: float | Sequence[float]) -> float | np.ndarray:
+    """Inverse map: the accuracy a fresh worker achieves at difficulty ``beta``."""
+    array = np.asarray(difficulty, dtype=float)
+    result = 1.0 / (1.0 + np.exp(np.clip(array, -500, 500)))
+    return float(result) if result.ndim == 0 else result
+
+
+def prior_domain_difficulties(domain_mean_accuracies: Sequence[float]) -> np.ndarray:
+    """Difficulties for every prior domain from their mean accuracies."""
+    return np.atleast_1d(difficulty_from_accuracy(np.asarray(list(domain_mean_accuracies), dtype=float)))
+
+
+__all__ = ["difficulty_from_accuracy", "accuracy_from_difficulty", "prior_domain_difficulties"]

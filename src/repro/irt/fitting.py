@@ -1,0 +1,107 @@
+"""Per-worker learning-rate fitting (Eq. 11).
+
+Each round, the LGE component refits every remaining worker's learning
+parameter ``alpha_i`` by least squares against two kinds of evidence:
+
+* the worker's historical accuracy on every prior domain ``d``, matched by
+  the learning-curve prediction at exposure ``n_{i,d}`` (the number of tasks
+  the worker completed on that domain) and difficulty ``beta_d``;
+* the CPE-estimated target-domain accuracy of every completed round ``j``,
+  matched by the learning-curve prediction at exposure ``K_{j-1}`` (what the
+  worker had been trained with when producing those answers) and difficulty
+  ``beta_T``.
+
+Both kinds reduce to generic ``(exposure, difficulty, observed accuracy)``
+triples, so the fit is a bounded one-dimensional least-squares problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.irt.learning_curve import LearningCurveModel
+from repro.stats.optimize import minimize_scalar_bounded
+
+DEFAULT_ALPHA_BOUNDS = (0.0, 10.0)
+
+
+@dataclass(frozen=True)
+class AlphaFitObservation:
+    """One ``(exposure, difficulty, observed accuracy)`` residual term of Eq. 11.
+
+    Attributes
+    ----------
+    exposure:
+        Cumulative number of tasks behind the observation (``n_{i,d}`` for a
+        prior domain, ``K_{j-1}`` for a target-domain round).
+    difficulty:
+        The domain difficulty ``beta`` applicable to the observation.
+    observed_accuracy:
+        The accuracy the learning-curve prediction should match (historical
+        accuracy ``h_{i,d}`` or CPE estimate ``p_{j,i}``).
+    weight:
+        Optional non-negative weight for the squared residual.
+    """
+
+    exposure: float
+    difficulty: float
+    observed_accuracy: float
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.exposure < 0:
+            raise ValueError(f"exposure must be non-negative, got {self.exposure}")
+        if not 0.0 <= self.observed_accuracy <= 1.0:
+            raise ValueError(f"observed_accuracy must lie in [0, 1], got {self.observed_accuracy}")
+        if self.weight < 0:
+            raise ValueError(f"weight must be non-negative, got {self.weight}")
+
+
+def sum_of_squares(alpha: float, observations: Sequence[AlphaFitObservation]) -> float:
+    """The Eq. (11) objective evaluated at a candidate ``alpha``."""
+    total = 0.0
+    for obs in observations:
+        model = LearningCurveModel(learning_rate=alpha, difficulty=obs.difficulty)
+        predicted = model.probability(obs.exposure)
+        total += obs.weight * (predicted - obs.observed_accuracy) ** 2
+    return total
+
+
+def fit_learning_rate(
+    observations: Iterable[AlphaFitObservation],
+    bounds: tuple[float, float] = DEFAULT_ALPHA_BOUNDS,
+    n_grid: int = 40,
+) -> float:
+    """Least-squares estimate of the learning parameter ``alpha_i``.
+
+    Parameters
+    ----------
+    observations:
+        The residual terms assembled by the LGE estimator.
+    bounds:
+        Search interval for ``alpha``; the lower bound of 0 encodes the
+        assumption that training never makes a worker worse in expectation.
+    n_grid:
+        Grid density for the global search that seeds the Brent refinement.
+
+    Returns
+    -------
+    float
+        The fitted ``alpha``; when no observations are supplied the lower
+        bound is returned (a flat learning curve).
+    """
+    observation_list = list(observations)
+    lower, upper = bounds
+    if upper <= lower:
+        raise ValueError("bounds must satisfy lower < upper")
+    if not observation_list:
+        return float(lower)
+    return float(
+        minimize_scalar_bounded(lambda a: sum_of_squares(a, observation_list), lower, upper, n_grid=n_grid)
+    )
+
+
+__all__ = ["AlphaFitObservation", "fit_learning_rate", "sum_of_squares", "DEFAULT_ALPHA_BOUNDS"]

@@ -1,0 +1,104 @@
+"""The paper's modified IRT learning-curve model (Eq. 10).
+
+A worker's proficiency on the target domain grows with the amount of
+training received: ``theta_i = alpha_i * ln(K_j + 1)`` where ``K_j`` is the
+cumulative number of learning tasks assigned to the worker up to round
+``j``.  Substituting into the Rasch model gives
+
+    p_hat(j, i, d) = g(alpha_i, beta_d, K_j)
+                   = 1 / (1 + exp(-(alpha_i * ln(K_j + 1) - beta_d)))
+
+This module implements ``g`` and the cumulative-exposure bookkeeping
+``K_j = (2^j - 1) * t / |W|`` used by the budgeted elimination schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.irt.rasch import sigmoid
+
+
+def cumulative_learning_tasks(round_index: int, per_round_budget: int, pool_size: int) -> float:
+    """Cumulative learning tasks ``K_j`` per remaining worker up to a round.
+
+    The paper's schedule halves the worker pool every round while keeping the
+    per-round budget ``t`` fixed, so the per-worker share doubles each round;
+    summing the geometric series gives ``K_j = (2^j - 1) * t / |W|``.
+
+    Parameters
+    ----------
+    round_index:
+        1-based round index ``j``; ``j = 0`` means "before any training" and
+        returns 0.
+    per_round_budget:
+        The fixed per-round budget ``t`` (Eq. 13).
+    pool_size:
+        The initial worker-pool size ``|W|``.
+    """
+    if round_index < 0:
+        raise ValueError(f"round_index must be non-negative, got {round_index}")
+    if pool_size <= 0:
+        raise ValueError(f"pool_size must be positive, got {pool_size}")
+    if per_round_budget < 0:
+        raise ValueError(f"per_round_budget must be non-negative, got {per_round_budget}")
+    if round_index == 0:
+        return 0.0
+    return float((2**round_index - 1) * per_round_budget / pool_size)
+
+
+@dataclass(frozen=True)
+class LearningCurveModel:
+    """The modified IRT model ``g(alpha, beta, K)`` of Eq. (10).
+
+    Attributes
+    ----------
+    learning_rate:
+        The per-worker learning parameter ``alpha_i``.
+    difficulty:
+        The per-domain difficulty parameter ``beta_d``.
+    """
+
+    learning_rate: float
+    difficulty: float
+
+    def proficiency(self, exposure: float | np.ndarray) -> float | np.ndarray:
+        """Proficiency ``theta = alpha * ln(K + 1)`` at a given exposure."""
+        exposure = np.asarray(exposure, dtype=float)
+        if np.any(exposure < 0):
+            raise ValueError("exposure (cumulative learning tasks) must be non-negative")
+        result = self.learning_rate * np.log1p(exposure)
+        return float(result) if result.ndim == 0 else result
+
+    def probability(self, exposure: float | np.ndarray) -> float | np.ndarray:
+        """Predicted accuracy after ``exposure`` cumulative learning tasks."""
+        result = sigmoid(np.asarray(self.proficiency(exposure)) - self.difficulty)
+        return float(result) if np.ndim(result) == 0 else result
+
+    def probability_trajectory(self, exposures: Sequence[float]) -> np.ndarray:
+        """Predicted accuracies along a sequence of cumulative exposures."""
+        return np.asarray(self.probability(np.asarray(list(exposures), dtype=float)))
+
+    def exposure_for_accuracy(self, accuracy: float, max_exposure: float = 1e6) -> float:
+        """Invert the curve: exposure needed to reach a target accuracy.
+
+        Returns ``inf`` when the accuracy is unreachable (e.g. the learning
+        rate is non-positive and the target exceeds the starting accuracy).
+        """
+        if not 0.0 < accuracy < 1.0:
+            raise ValueError("accuracy must lie strictly inside (0, 1)")
+        required_theta = np.log(accuracy / (1.0 - accuracy)) + self.difficulty
+        if self.learning_rate <= 0:
+            return 0.0 if required_theta <= 0 else float("inf")
+        exposure = float(np.expm1(required_theta / self.learning_rate))
+        if exposure < 0:
+            return 0.0
+        if exposure > max_exposure:
+            return float("inf")
+        return exposure
+
+
+__all__ = ["LearningCurveModel", "cumulative_learning_tasks"]

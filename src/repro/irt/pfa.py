@@ -1,0 +1,99 @@
+"""Performance Factor Analysis (PFA).
+
+PFA (Pavlik, Cen & Koedinger, 2009) extends the Rasch model by replacing
+the single proficiency with counts of prior successes and failures per
+skill:
+
+    p = sigmoid(beta + gamma * successes + rho * failures)
+
+The paper cites PFA as one of the factor-analysis knowledge-tracing models;
+we provide it as an optional learning model so the LGE component can be
+swapped out in ablation experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.irt.rasch import sigmoid
+
+
+@dataclass
+class PerformanceFactorModel:
+    """Single-skill PFA model.
+
+    Attributes
+    ----------
+    easiness:
+        The skill easiness intercept (``beta`` in PFA's notation, i.e. the
+        *negative* of a Rasch difficulty).
+    success_weight:
+        Increment to the logit per prior correct answer (``gamma >= 0``).
+    failure_weight:
+        Increment to the logit per prior incorrect answer (``rho``); usually
+        smaller than ``success_weight`` and possibly negative.
+    """
+
+    easiness: float = 0.0
+    success_weight: float = 0.1
+    failure_weight: float = 0.02
+
+    def probability(self, successes: int, failures: int) -> float:
+        """Probability of a correct answer given prior success/failure counts."""
+        if successes < 0 or failures < 0:
+            raise ValueError("success/failure counts must be non-negative")
+        logit = self.easiness + self.success_weight * successes + self.failure_weight * failures
+        return float(sigmoid(logit))
+
+    def trace(self, responses: Sequence[int]) -> List[float]:
+        """Predicted accuracy before each response in a sequence."""
+        successes = 0
+        failures = 0
+        predictions = []
+        for response in responses:
+            if response not in (0, 1, True, False):
+                raise ValueError("responses must be binary")
+            predictions.append(self.probability(successes, failures))
+            if response:
+                successes += 1
+            else:
+                failures += 1
+        return predictions
+
+    def predicted_accuracy(self, responses: Sequence[int]) -> float:
+        """Predicted accuracy on the next task after the given history."""
+        responses = list(responses)
+        successes = int(sum(1 for r in responses if r))
+        failures = len(responses) - successes
+        return self.probability(successes, failures)
+
+    def expected_accuracy_curve(self, n_tasks: int, latent_accuracy: float | None = None) -> np.ndarray:
+        """Expected accuracy after ``0..n_tasks`` tasks.
+
+        When ``latent_accuracy`` is given, successes accrue at that rate in
+        expectation; otherwise the model's own predictions are used
+        self-consistently.
+        """
+        if n_tasks < 0:
+            raise ValueError("n_tasks must be non-negative")
+        expected_successes = 0.0
+        expected_failures = 0.0
+        curve = []
+        for _ in range(n_tasks + 1):
+            logit = (
+                self.easiness
+                + self.success_weight * expected_successes
+                + self.failure_weight * expected_failures
+            )
+            p = float(sigmoid(logit))
+            curve.append(p)
+            rate = latent_accuracy if latent_accuracy is not None else p
+            expected_successes += rate
+            expected_failures += 1.0 - rate
+        return np.asarray(curve)
+
+
+__all__ = ["PerformanceFactorModel"]

@@ -1,0 +1,87 @@
+"""The Rasch one-parameter logistic (1PL) IRT model.
+
+The probability that a worker with proficiency ``theta`` answers a question
+of difficulty ``beta`` correctly is
+
+    p(theta) = 1 / (1 + exp(-(theta - beta)))                       (Eq. 9)
+
+This module also provides a maximum-likelihood fit of ``theta`` from a
+sequence of graded responses, which is useful when calibrating simulated
+real-world workers from summary statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.stats.optimize import minimize_scalar_bounded
+
+_CLIP = 500.0  # exp overflow guard
+
+
+def sigmoid(x: np.ndarray | float) -> np.ndarray | float:
+    """Numerically stable logistic function."""
+    x = np.clip(x, -_CLIP, _CLIP)
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+def logit(p: np.ndarray | float, eps: float = 1e-9) -> np.ndarray | float:
+    """Inverse of :func:`sigmoid`, clamped away from 0 and 1."""
+    p = np.clip(p, eps, 1.0 - eps)
+    return np.log(p / (1.0 - p))
+
+
+@dataclass(frozen=True)
+class RaschModel:
+    """A Rasch 1PL model with a fixed difficulty parameter.
+
+    Attributes
+    ----------
+    difficulty:
+        The item/domain difficulty ``beta``.
+    """
+
+    difficulty: float
+
+    def probability(self, proficiency: np.ndarray | float) -> np.ndarray | float:
+        """Probability of a correct answer given proficiency ``theta``."""
+        return sigmoid(np.asarray(proficiency, dtype=float) - self.difficulty)
+
+    def log_likelihood(self, proficiency: float, responses: Sequence[int]) -> float:
+        """Log-likelihood of binary responses under proficiency ``theta``."""
+        responses = np.asarray(responses, dtype=float)
+        if responses.size == 0:
+            return 0.0
+        if np.any((responses != 0) & (responses != 1)):
+            raise ValueError("responses must be binary (0/1)")
+        p = float(self.probability(proficiency))
+        p = float(np.clip(p, 1e-12, 1.0 - 1e-12))
+        correct = responses.sum()
+        wrong = responses.size - correct
+        return float(correct * np.log(p) + wrong * np.log(1.0 - p))
+
+    def fit_proficiency(
+        self,
+        responses: Sequence[int],
+        lower: float = -10.0,
+        upper: float = 10.0,
+    ) -> float:
+        """Maximum-likelihood proficiency given binary responses.
+
+        With a single item difficulty the MLE is available in closed form
+        (``beta + logit(accuracy)``) except at the boundaries, where the
+        bounded search keeps the estimate finite.
+        """
+        responses = np.asarray(responses, dtype=float)
+        if responses.size == 0:
+            return self.difficulty
+        accuracy = float(responses.mean())
+        if 0.0 < accuracy < 1.0:
+            return float(self.difficulty + logit(accuracy))
+        return minimize_scalar_bounded(lambda theta: -self.log_likelihood(theta, responses), lower, upper)
+
+
+__all__ = ["RaschModel", "sigmoid", "logit"]

@@ -1,0 +1,91 @@
+"""Learning-task assignment (Definition 3).
+
+Each elimination round, every remaining worker receives the same batch of
+``floor(t / |W_c|)`` learning tasks drawn sequentially from the task bank
+(Algorithm 4, lines 5 and 9).  The assignment object records which tasks
+went to which workers so the answer history can be scored and audited.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.platform.tasks import Task, TaskBank
+
+
+@dataclass(frozen=True)
+class RoundAssignment:
+    """The learning tasks assigned to every remaining worker in one round.
+
+    Attributes
+    ----------
+    round_index:
+        1-based elimination round ``c``.
+    worker_ids:
+        The remaining workers ``W_c`` in pool order.
+    tasks:
+        The shared batch of learning tasks assigned to *each* worker this
+        round (the paper assigns the same golden questions to everyone, so a
+        single list suffices).
+    start_index:
+        Position of the first task of this batch within the learning-task
+        bank (the paper's ``r_c``); the next round starts at
+        ``start_index + len(tasks)``.
+    """
+
+    round_index: int
+    worker_ids: Sequence[str]
+    tasks: Sequence[Task]
+    start_index: int
+
+    @property
+    def tasks_per_worker(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def total_assignments(self) -> int:
+        """Budget consumed by this round (= workers x tasks per worker)."""
+        return len(self.worker_ids) * len(self.tasks)
+
+    @property
+    def next_start_index(self) -> int:
+        """The paper's ``r_{c+1}``."""
+        return self.start_index + len(self.tasks)
+
+    def gold_labels(self) -> List[bool]:
+        """Gold answers ``G_c`` of the assigned batch, in task order."""
+        return [task.gold_label for task in self.tasks]
+
+
+def build_round_assignment(
+    task_bank: TaskBank,
+    worker_ids: Sequence[str],
+    round_index: int,
+    start_index: int,
+    tasks_per_worker: int,
+) -> RoundAssignment:
+    """Assemble the round's assignment from the task bank.
+
+    Raises
+    ------
+    ValueError
+        If there are no workers left or the per-worker batch size is
+        negative.
+    """
+    if not worker_ids:
+        raise ValueError("cannot assign tasks to an empty worker set")
+    if tasks_per_worker < 0:
+        raise ValueError("tasks_per_worker must be non-negative")
+    if round_index < 1:
+        raise ValueError("round_index is 1-based and must be positive")
+    tasks = task_bank.take_learning_tasks(start_index, tasks_per_worker)
+    return RoundAssignment(
+        round_index=round_index,
+        worker_ids=tuple(worker_ids),
+        tasks=tuple(tasks),
+        start_index=start_index,
+    )
+
+
+__all__ = ["RoundAssignment", "build_round_assignment"]

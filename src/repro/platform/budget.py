@@ -1,0 +1,157 @@
+"""Budget and round scheduling (Eq. 12-13 and Table II conventions).
+
+Given a pool of ``|W|`` workers, a desired number of selected workers ``k``
+and a total budget ``B`` of learning-task assignments, the paper derives
+
+    n = ceil(log2(|W| / k))          (number of elimination rounds, Eq. 12)
+    t = floor(B / n)                 (per-round budget, Eq. 13)
+
+and, in each round ``c`` with ``|W_c|`` remaining workers, assigns
+``floor(t / |W_c|)`` learning tasks to every remaining worker.
+
+Table II additionally fixes how the datasets choose the *total* budget from
+the per-batch learning-task count ``Q``:
+
+    B           = ceil(log2(|W| / k)) * Q * |W|
+    #batches    = 2^{ceil(log2(|W| / k))} - 1
+
+so that the per-worker share in round 1 is exactly ``Q`` and doubles every
+round as the pool halves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+
+def number_of_rounds(pool_size: int, k: int) -> int:
+    """Eq. (12): ``n = ceil(log2(|W| / k))`` with a minimum of one round."""
+    if pool_size <= 0:
+        raise ValueError(f"pool_size must be positive, got {pool_size}")
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if k >= pool_size:
+        return 1
+    return max(1, math.ceil(math.log2(pool_size / k)))
+
+
+def per_round_budget(total_budget: int, n_rounds: int) -> int:
+    """Eq. (13): ``t = floor(B / n)``."""
+    if total_budget < 0:
+        raise ValueError(f"total_budget must be non-negative, got {total_budget}")
+    if n_rounds <= 0:
+        raise ValueError(f"n_rounds must be positive, got {n_rounds}")
+    return total_budget // n_rounds
+
+
+def default_total_budget(pool_size: int, k: int, tasks_per_batch: int) -> int:
+    """Table II's convention ``B = ceil(log2(|W|/k)) * Q * |W|``."""
+    if tasks_per_batch <= 0:
+        raise ValueError(f"tasks_per_batch must be positive, got {tasks_per_batch}")
+    return number_of_rounds(pool_size, k) * tasks_per_batch * pool_size
+
+
+def number_of_batches(pool_size: int, k: int) -> int:
+    """Table II's convention ``#batches = 2^{ceil(log2(|W|/k))} - 1``.
+
+    This equals the total number of per-worker batches of size ``Q`` handed
+    out across all rounds to a worker that survives every elimination.
+    """
+    return 2 ** number_of_rounds(pool_size, k) - 1
+
+
+@dataclass(frozen=True)
+class BudgetSchedule:
+    """The complete round/budget schedule for one selection run.
+
+    Attributes
+    ----------
+    pool_size:
+        Initial number of workers ``|W|``.
+    k:
+        Number of workers to select.
+    total_budget:
+        Total number of learning-task assignments ``B``.
+    n_rounds:
+        Number of elimination rounds ``n`` (Eq. 12).
+    round_budget:
+        Per-round budget ``t`` (Eq. 13).
+    """
+
+    pool_size: int
+    k: int
+    total_budget: int
+    n_rounds: int
+    round_budget: int
+
+    def remaining_workers(self, round_index: int) -> int:
+        """Number of workers still in the pool at the start of round ``c`` (1-based)."""
+        if not 1 <= round_index <= self.n_rounds:
+            raise ValueError(f"round_index must lie in [1, {self.n_rounds}], got {round_index}")
+        remaining = self.pool_size
+        for _ in range(round_index - 1):
+            remaining = math.ceil(remaining / 2)
+        return remaining
+
+    def tasks_per_worker(self, round_index: int) -> int:
+        """Learning tasks assigned to each remaining worker in round ``c``."""
+        remaining = self.remaining_workers(round_index)
+        return self.round_budget // remaining if remaining else 0
+
+    def cumulative_tasks_per_survivor(self, round_index: int) -> int:
+        """Total learning tasks a never-eliminated worker has received by the end of round ``c``."""
+        if round_index < 0:
+            raise ValueError("round_index must be non-negative")
+        return sum(self.tasks_per_worker(c) for c in range(1, min(round_index, self.n_rounds) + 1))
+
+    @property
+    def full_training_exposure(self) -> int:
+        """Learning tasks a worker that survives every round receives in total."""
+        return self.cumulative_tasks_per_survivor(self.n_rounds)
+
+    def spent_budget(self) -> int:
+        """Total assignments actually issued by the halving schedule.
+
+        Because of the floors this can be slightly below ``total_budget``;
+        it can never exceed it.
+        """
+        total = 0
+        for round_index in range(1, self.n_rounds + 1):
+            total += self.tasks_per_worker(round_index) * self.remaining_workers(round_index)
+        return total
+
+    def round_plan(self) -> List[dict]:
+        """A human-readable plan: one dict per round (used by the CLI and examples)."""
+        return [
+            {
+                "round": c,
+                "remaining_workers": self.remaining_workers(c),
+                "tasks_per_worker": self.tasks_per_worker(c),
+                "round_budget": self.round_budget,
+            }
+            for c in range(1, self.n_rounds + 1)
+        ]
+
+
+def compute_budget(pool_size: int, k: int, total_budget: int) -> BudgetSchedule:
+    """Build the :class:`BudgetSchedule` for a selection run (Eq. 12-13)."""
+    n_rounds = number_of_rounds(pool_size, k)
+    return BudgetSchedule(
+        pool_size=pool_size,
+        k=k,
+        total_budget=total_budget,
+        n_rounds=n_rounds,
+        round_budget=per_round_budget(total_budget, n_rounds),
+    )
+
+
+__all__ = [
+    "BudgetSchedule",
+    "compute_budget",
+    "number_of_rounds",
+    "per_round_budget",
+    "default_total_budget",
+    "number_of_batches",
+]

@@ -1,0 +1,97 @@
+"""Per-round answer records (Definition 4's raw material).
+
+The platform stores, for every round, which workers answered which learning
+tasks and whether each answer was correct.  The selection algorithms consume
+the per-worker correct/wrong counts (``C_{i,c}`` / ``X_{i,c}`` of Eq. 3-4);
+the experiment harness additionally uses the history to report training
+curves and budget audits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """All answers collected in one elimination round.
+
+    Attributes
+    ----------
+    round_index:
+        1-based round ``c``.
+    correctness:
+        Mapping ``worker_id -> boolean array`` of per-task correctness for
+        the round's shared batch (the paper's ``a_{i,c}`` scored against
+        ``G_c``).
+    tasks_per_worker:
+        Size of the shared batch.
+    """
+
+    round_index: int
+    correctness: Mapping[str, np.ndarray]
+    tasks_per_worker: int
+
+    def correct_counts(self) -> Dict[str, int]:
+        """``C_{i,c}`` per worker (Eq. 3)."""
+        return {worker_id: int(np.sum(answers)) for worker_id, answers in self.correctness.items()}
+
+    def wrong_counts(self) -> Dict[str, int]:
+        """``X_{i,c}`` per worker (Eq. 4)."""
+        return {
+            worker_id: int(self.tasks_per_worker - np.sum(answers))
+            for worker_id, answers in self.correctness.items()
+        }
+
+    def accuracies(self) -> Dict[str, float]:
+        """Observed accuracy per worker in this round (``a_{i,c}`` averaged)."""
+        if self.tasks_per_worker == 0:
+            return {worker_id: 0.0 for worker_id in self.correctness}
+        return {
+            worker_id: float(np.mean(answers)) if len(answers) else 0.0
+            for worker_id, answers in self.correctness.items()
+        }
+
+
+@dataclass
+class AnswerHistory:
+    """Chronological record of every round's answers in one selection run."""
+
+    records: List[RoundRecord] = field(default_factory=list)
+
+    def append(self, record: RoundRecord) -> None:
+        if self.records and record.round_index <= self.records[-1].round_index:
+            raise ValueError("round records must be appended in increasing round order")
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def latest(self) -> Optional[RoundRecord]:
+        return self.records[-1] if self.records else None
+
+    def rounds_for_worker(self, worker_id: str) -> List[RoundRecord]:
+        """All rounds in which the given worker answered."""
+        return [record for record in self.records if worker_id in record.correctness]
+
+    def cumulative_exposure(self, worker_id: str) -> int:
+        """Total learning tasks the worker has answered (and learned from) so far."""
+        return sum(record.tasks_per_worker for record in self.rounds_for_worker(worker_id))
+
+    def accuracy_trajectory(self, worker_id: str) -> List[float]:
+        """Per-round observed accuracy of one worker (training curve)."""
+        return [record.accuracies()[worker_id] for record in self.rounds_for_worker(worker_id)]
+
+    def total_assignments(self) -> int:
+        """Budget consumed so far across all rounds and workers."""
+        return sum(record.tasks_per_worker * len(record.correctness) for record in self.records)
+
+
+__all__ = ["RoundRecord", "AnswerHistory"]

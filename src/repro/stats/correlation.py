@@ -1,0 +1,105 @@
+"""Correlation and resampling utilities.
+
+Used by the dataset-consistency analysis (Table IV): the paper buckets
+workers' target-domain accuracies, computes the Pearson correlation between
+the bucket histograms of RW-1 and each synthetic dataset, and requires the
+correlation to exceed 0.75.  The experiment harness also reports bootstrap
+confidence intervals on per-method mean accuracies so that table cells carry
+an uncertainty estimate.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.stats.rng import SeedLike, as_generator
+
+
+def pearson_correlation(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson correlation coefficient between two equal-length sequences."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+    if x.size < 2:
+        raise ValueError("need at least two observations")
+    x_centred = x - x.mean()
+    y_centred = y - y.mean()
+    denom = np.sqrt(np.sum(x_centred**2) * np.sum(y_centred**2))
+    if denom < 1e-15:
+        return 0.0
+    return float(np.sum(x_centred * y_centred) / denom)
+
+
+def bucket_accuracies(
+    accuracies: Sequence[float],
+    n_buckets: int = 10,
+    lower: float = 0.0,
+    upper: float = 1.0,
+    normalise: bool = True,
+) -> np.ndarray:
+    """Histogram accuracies into equal-width buckets on ``[lower, upper]``.
+
+    Returns the (optionally normalised) bucket counts used for the
+    distributional comparison in Table IV's consistency check.
+    """
+    if n_buckets < 1:
+        raise ValueError("n_buckets must be positive")
+    accuracies = np.asarray(accuracies, dtype=float)
+    counts, _ = np.histogram(accuracies, bins=n_buckets, range=(lower, upper))
+    counts = counts.astype(float)
+    if normalise and counts.sum() > 0:
+        counts /= counts.sum()
+    return counts
+
+
+def bucketed_pearson(
+    reference: Sequence[float],
+    candidate: Sequence[float],
+    n_buckets: int = 10,
+) -> float:
+    """Pearson correlation between bucketed accuracy distributions.
+
+    This is the exact statistic the paper reports to validate that the
+    synthetic datasets are consistent with RW-1 (all values > 0.75).
+    """
+    ref_hist = bucket_accuracies(reference, n_buckets=n_buckets)
+    cand_hist = bucket_accuracies(candidate, n_buckets=n_buckets)
+    return pearson_correlation(ref_hist, cand_hist)
+
+
+def bootstrap_mean_ci(
+    values: Sequence[float],
+    n_resamples: int = 1000,
+    confidence: float = 0.95,
+    rng: SeedLike = None,
+) -> Tuple[float, float, float]:
+    """Bootstrap confidence interval for the mean of ``values``.
+
+    Returns ``(mean, ci_lower, ci_upper)``.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("values must be non-empty")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must lie in (0, 1)")
+    generator = as_generator(rng)
+    mean = float(values.mean())
+    if values.size == 1:
+        return mean, mean, mean
+    resample_means = np.array(
+        [values[generator.integers(0, values.size, size=values.size)].mean() for _ in range(n_resamples)]
+    )
+    alpha = (1.0 - confidence) / 2.0
+    lower, upper = np.quantile(resample_means, [alpha, 1.0 - alpha])
+    return mean, float(lower), float(upper)
+
+
+__all__ = [
+    "pearson_correlation",
+    "bucket_accuracies",
+    "bucketed_pearson",
+    "bootstrap_mean_ci",
+]

@@ -1,0 +1,331 @@
+"""Multivariate normal model over per-domain worker accuracies.
+
+The paper models each worker's accuracy vector over the ``D`` prior domains
+plus the target domain as a draw from a ``(D+1)``-dimensional multivariate
+normal ``N(mu, Sigma)`` (Eq. 1-2).  The CPE estimator needs three
+operations on this model:
+
+* build a valid covariance matrix from interpretable parameters
+  (standard deviations and pairwise correlations);
+* compute the conditional distribution of the target-domain accuracy given a
+  worker's prior-domain profile (the ``mu_bar`` / ``Sigma_bar`` of Eq. 5);
+* pack and unpack the free parameters into a flat vector so that the
+  gradient-descent MLE of Eq. (6)-(7) can operate on it.
+
+The class below keeps the canonical representation as ``(mu, sigma, rho)``
+rather than a raw covariance so every gradient step yields a well-formed
+(symmetric, unit-diagonal-correlation) model; a positive-definite projection
+is applied when correlations drift towards an invalid configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+_MIN_SIGMA = 1e-4
+_MAX_ABS_RHO = 0.999
+_PD_EPS = 1e-8
+_SOLVE_JITTER = 1e-8
+
+
+def _robust_solve(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``matrix @ x = rhs`` with a pseudo-inverse fallback.
+
+    Gradient perturbations can push a conditioning sub-covariance to the
+    edge of singularity; the pseudo-inverse keeps the likelihood evaluation
+    finite there instead of aborting the whole update.
+    """
+    try:
+        return np.linalg.solve(matrix, rhs)
+    except np.linalg.LinAlgError:
+        return np.linalg.pinv(matrix) @ rhs
+
+
+def nearest_positive_definite(matrix: np.ndarray, eps: float = _PD_EPS) -> np.ndarray:
+    """Project a symmetric matrix onto the positive-definite cone.
+
+    Eigenvalues below ``eps`` are clipped.  The input is symmetrised first so
+    small numerical asymmetries from finite-difference updates do not
+    accumulate.
+    """
+    sym = 0.5 * (matrix + matrix.T)
+    eigenvalues, eigenvectors = np.linalg.eigh(sym)
+    clipped = np.clip(eigenvalues, eps, None)
+    return (eigenvectors * clipped) @ eigenvectors.T
+
+
+def correlation_from_covariance(covariance: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Split a covariance matrix into standard deviations and correlations."""
+    sigma = np.sqrt(np.clip(np.diag(covariance), _MIN_SIGMA**2, None))
+    outer = np.outer(sigma, sigma)
+    rho = covariance / outer
+    np.fill_diagonal(rho, 1.0)
+    rho = np.clip(rho, -_MAX_ABS_RHO, _MAX_ABS_RHO)
+    np.fill_diagonal(rho, 1.0)
+    return sigma, rho
+
+
+@dataclass
+class MultivariateNormalModel:
+    """A ``(sigma, rho)``-parameterised multivariate normal distribution.
+
+    Attributes
+    ----------
+    mean:
+        Length-``d`` mean vector (per-domain mean accuracy).
+    sigma:
+        Length-``d`` vector of standard deviations.
+    rho:
+        ``d x d`` correlation matrix with unit diagonal.
+    """
+
+    mean: np.ndarray
+    sigma: np.ndarray
+    rho: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.mean = np.asarray(self.mean, dtype=float).copy()
+        self.sigma = np.asarray(self.sigma, dtype=float).copy()
+        self.rho = np.asarray(self.rho, dtype=float).copy()
+        d = self.mean.shape[0]
+        if self.mean.ndim != 1:
+            raise ValueError("mean must be a 1-D vector")
+        if self.sigma.shape != (d,):
+            raise ValueError(f"sigma must have shape ({d},), got {self.sigma.shape}")
+        if self.rho.shape != (d, d):
+            raise ValueError(f"rho must have shape ({d}, {d}), got {self.rho.shape}")
+        self.sigma = np.clip(self.sigma, _MIN_SIGMA, None)
+        self._normalise_rho()
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_covariance(cls, mean: Sequence[float], covariance: np.ndarray) -> "MultivariateNormalModel":
+        """Build a model from a raw covariance matrix (Eq. 2 form)."""
+        covariance = nearest_positive_definite(np.asarray(covariance, dtype=float))
+        sigma, rho = correlation_from_covariance(covariance)
+        return cls(mean=np.asarray(mean, dtype=float), sigma=sigma, rho=rho)
+
+    @classmethod
+    def from_moments(
+        cls,
+        means: Sequence[float],
+        stds: Sequence[float],
+        correlations: Optional[np.ndarray] = None,
+    ) -> "MultivariateNormalModel":
+        """Build a model from per-domain means/stds and an optional correlation matrix.
+
+        When ``correlations`` is ``None`` the domains start uncorrelated, which
+        matches the paper's "correlation is not well-known before training"
+        premise; the CPE gradient updates then learn the correlations.
+        """
+        means = np.asarray(means, dtype=float)
+        stds = np.asarray(stds, dtype=float)
+        if correlations is None:
+            correlations = np.eye(means.shape[0])
+        return cls(mean=means, sigma=stds, rho=np.asarray(correlations, dtype=float))
+
+    def copy(self) -> "MultivariateNormalModel":
+        return MultivariateNormalModel(self.mean.copy(), self.sigma.copy(), self.rho.copy())
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def dimension(self) -> int:
+        """Number of modelled domains (``D + 1`` in the paper's notation)."""
+        return self.mean.shape[0]
+
+    @property
+    def covariance(self) -> np.ndarray:
+        """The covariance matrix ``Sigma`` of Eq. (2)."""
+        outer = np.outer(self.sigma, self.sigma)
+        return self.rho * outer
+
+    def _normalise_rho(self) -> None:
+        """Clamp correlations and re-project to a valid correlation matrix.
+
+        The projection operates on the correlation matrix itself (eigenvalue
+        clipping followed by re-normalising the diagonal to one), so the
+        configured standard deviations are preserved exactly — important for
+        synthetic dataset generation, where uniform-random correlations are
+        frequently inconsistent but the per-domain moments must match
+        Table IV.
+        """
+        self.rho = 0.5 * (self.rho + self.rho.T)
+        self.rho = np.clip(self.rho, -_MAX_ABS_RHO, _MAX_ABS_RHO)
+        np.fill_diagonal(self.rho, 1.0)
+        try:
+            np.linalg.cholesky(self.rho + _PD_EPS * np.eye(self.dimension))
+        except np.linalg.LinAlgError:
+            projected = nearest_positive_definite(self.rho, eps=1e-4)
+            scale = np.sqrt(np.clip(np.diag(projected), _MIN_SIGMA**2, None))
+            projected = projected / np.outer(scale, scale)
+            projected = np.clip(projected, -_MAX_ABS_RHO, _MAX_ABS_RHO)
+            np.fill_diagonal(projected, 1.0)
+            self.rho = projected
+
+    # ------------------------------------------------------------------ #
+    # Conditional distribution (mu_bar, Sigma_bar of Eq. 5)
+    # ------------------------------------------------------------------ #
+    def conditional(
+        self,
+        observed_values: np.ndarray,
+        observed_indices: Sequence[int],
+        target_index: int,
+    ) -> Tuple[float, float]:
+        """Conditional mean and variance of one coordinate given others.
+
+        Parameters
+        ----------
+        observed_values:
+            Values of the observed coordinates (a worker's prior-domain
+            accuracies ``h_i``).
+        observed_indices:
+            Indices of the observed coordinates inside the model.
+        target_index:
+            Index of the coordinate to predict (the target domain).
+
+        Returns
+        -------
+        (mean, variance):
+            Parameters of the univariate conditional normal.
+        """
+        observed_values = np.asarray(observed_values, dtype=float)
+        observed_indices = list(observed_indices)
+        if target_index in observed_indices:
+            raise ValueError("target_index must not be among observed_indices")
+        if len(observed_values) != len(observed_indices):
+            raise ValueError("observed_values and observed_indices must have equal length")
+
+        cov = self.covariance
+        if not observed_indices:
+            return float(self.mean[target_index]), float(cov[target_index, target_index])
+
+        obs = np.asarray(observed_indices, dtype=int)
+        sigma_oo = cov[np.ix_(obs, obs)]
+        sigma_to = cov[target_index, obs]
+        sigma_tt = cov[target_index, target_index]
+        mu_o = self.mean[obs]
+        mu_t = self.mean[target_index]
+
+        jittered = sigma_oo + _SOLVE_JITTER * np.eye(len(obs))
+        solve = _robust_solve(jittered, observed_values - mu_o)
+        cond_mean = mu_t + float(sigma_to @ solve)
+        weights = _robust_solve(jittered, sigma_to)
+        cond_var = float(sigma_tt - sigma_to @ weights)
+        cond_var = max(cond_var, _MIN_SIGMA**2)
+        return cond_mean, cond_var
+
+    def conditional_batch(
+        self,
+        observed_matrix: np.ndarray,
+        observed_indices: Sequence[int],
+        target_index: int,
+    ) -> Tuple[np.ndarray, float]:
+        """Vectorised :meth:`conditional` for a batch of workers.
+
+        All workers must share the same set of observed domains (the common
+        case); the conditional variance is then identical for every worker.
+
+        Returns
+        -------
+        (means, variance):
+            ``means`` has one entry per row of ``observed_matrix``.
+        """
+        observed_matrix = np.atleast_2d(np.asarray(observed_matrix, dtype=float))
+        obs = np.asarray(list(observed_indices), dtype=int)
+        if obs.size == 0:
+            means = np.full(observed_matrix.shape[0], self.mean[target_index])
+            return means, float(self.covariance[target_index, target_index])
+
+        cov = self.covariance
+        sigma_oo = cov[np.ix_(obs, obs)] + _SOLVE_JITTER * np.eye(obs.size)
+        sigma_to = cov[target_index, obs]
+        sigma_tt = cov[target_index, target_index]
+        weights = _robust_solve(sigma_oo, sigma_to)
+        cond_means = self.mean[target_index] + (observed_matrix - self.mean[obs]) @ weights
+        cond_var = float(sigma_tt - sigma_to @ weights)
+        return cond_means, max(cond_var, _MIN_SIGMA**2)
+
+    # ------------------------------------------------------------------ #
+    # Densities and sampling
+    # ------------------------------------------------------------------ #
+    def log_pdf(self, points: np.ndarray) -> np.ndarray:
+        """Log density of the full joint at one or more points."""
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        cov = nearest_positive_definite(self.covariance)
+        d = self.dimension
+        chol = np.linalg.cholesky(cov)
+        diff = points - self.mean
+        solved = np.linalg.solve(chol, diff.T)
+        quad = np.sum(solved**2, axis=0)
+        log_det = 2.0 * np.sum(np.log(np.diag(chol)))
+        return -0.5 * (quad + log_det + d * np.log(2.0 * np.pi))
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``size`` samples from the (untruncated) joint."""
+        return rng.multivariate_normal(self.mean, nearest_positive_definite(self.covariance), size=size)
+
+    # ------------------------------------------------------------------ #
+    # Parameter vectorisation (for gradient-descent MLE)
+    # ------------------------------------------------------------------ #
+    def pack_parameters(self) -> np.ndarray:
+        """Flatten ``(mu, sigma, upper-triangular rho)`` into one vector."""
+        iu = np.triu_indices(self.dimension, k=1)
+        return np.concatenate([self.mean, self.sigma, self.rho[iu]])
+
+    @staticmethod
+    def parameter_slices(dimension: int) -> Tuple[slice, slice, slice]:
+        """Slices of the packed vector for mean, sigma and correlations."""
+        n_corr = dimension * (dimension - 1) // 2
+        return (
+            slice(0, dimension),
+            slice(dimension, 2 * dimension),
+            slice(2 * dimension, 2 * dimension + n_corr),
+        )
+
+    @classmethod
+    def unpack_parameters(cls, vector: np.ndarray, dimension: int) -> "MultivariateNormalModel":
+        """Inverse of :meth:`pack_parameters` with validity clamping."""
+        vector = np.asarray(vector, dtype=float)
+        mean_s, sigma_s, rho_s = cls.parameter_slices(dimension)
+        mean = vector[mean_s]
+        sigma = np.clip(vector[sigma_s], _MIN_SIGMA, None)
+        rho = np.eye(dimension)
+        iu = np.triu_indices(dimension, k=1)
+        rho[iu] = np.clip(vector[rho_s], -_MAX_ABS_RHO, _MAX_ABS_RHO)
+        rho = rho + rho.T - np.eye(dimension)
+        return cls(mean=mean, sigma=sigma, rho=rho)
+
+    def with_parameters(self, vector: np.ndarray) -> "MultivariateNormalModel":
+        """Return a new model whose parameters are the given packed vector."""
+        return self.unpack_parameters(vector, self.dimension)
+
+    # ------------------------------------------------------------------ #
+    # Marginalisation helpers for workers with missing prior domains
+    # ------------------------------------------------------------------ #
+    def marginal(self, indices: Sequence[int]) -> "MultivariateNormalModel":
+        """Marginal model over a subset of domains.
+
+        Used when a worker has no historical record on some prior domain:
+        per Section IV-E of the paper, the corresponding rows/columns are
+        simply dropped.
+        """
+        idx = np.asarray(list(indices), dtype=int)
+        return MultivariateNormalModel(
+            mean=self.mean[idx],
+            sigma=self.sigma[idx],
+            rho=self.rho[np.ix_(idx, idx)],
+        )
+
+
+__all__ = [
+    "MultivariateNormalModel",
+    "nearest_positive_definite",
+    "correlation_from_covariance",
+]

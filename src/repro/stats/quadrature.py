@@ -1,0 +1,78 @@
+"""Fixed quadrature rules on the unit interval.
+
+The CPE log-likelihood (Eq. 5) contains, per worker, an integral over the
+unobserved target-domain accuracy:
+
+    integral_0^1  h^C (1 - h)^X  N(h; mu_bar, sigma_bar)  dh
+
+Gauss--Legendre quadrature with a modest number of nodes evaluates this to
+high accuracy because the integrand is a smooth, unimodal product of a Beta
+kernel and a Gaussian.  The rule is computed once and cached; likelihood
+evaluations are then pure vectorised numpy over (workers x nodes) grids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Tuple
+
+import numpy as np
+
+DEFAULT_NODES = 64
+
+
+@dataclass(frozen=True)
+class GaussLegendreRule:
+    """A fixed Gauss--Legendre rule mapped onto ``[lower, upper]``."""
+
+    nodes: np.ndarray
+    weights: np.ndarray
+    lower: float
+    upper: float
+
+    def integrate(self, values: np.ndarray) -> np.ndarray:
+        """Integrate function values evaluated at :attr:`nodes`.
+
+        ``values`` may be 1-D (single integrand) or 2-D with shape
+        ``(batch, n_nodes)`` for a batch of integrands; the node axis must be
+        the last one.
+        """
+        values = np.asarray(values, dtype=float)
+        return values @ self.weights
+
+    def integrate_function(self, func: Callable[[np.ndarray], np.ndarray]) -> float:
+        """Integrate a callable ``f(x)`` over ``[lower, upper]``."""
+        return float(self.integrate(func(self.nodes)))
+
+
+@lru_cache(maxsize=32)
+def _legendre_rule(n_nodes: int, lower: float, upper: float) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
+    nodes, weights = np.polynomial.legendre.leggauss(n_nodes)
+    half_width = 0.5 * (upper - lower)
+    midpoint = 0.5 * (upper + lower)
+    mapped_nodes = midpoint + half_width * nodes
+    mapped_weights = half_width * weights
+    return tuple(mapped_nodes.tolist()), tuple(mapped_weights.tolist())
+
+
+def unit_interval_rule(n_nodes: int = DEFAULT_NODES, lower: float = 0.0, upper: float = 1.0) -> GaussLegendreRule:
+    """Return a cached Gauss--Legendre rule on ``[lower, upper]``.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of quadrature nodes; 64 gives ~1e-12 relative error on the
+        Beta-times-Gaussian integrands that arise in Eq. (5).
+    """
+    if n_nodes < 2:
+        raise ValueError(f"n_nodes must be at least 2, got {n_nodes}")
+    if upper <= lower:
+        raise ValueError("upper must exceed lower")
+    nodes, weights = _legendre_rule(int(n_nodes), float(lower), float(upper))
+    return GaussLegendreRule(
+        nodes=np.asarray(nodes), weights=np.asarray(weights), lower=float(lower), upper=float(upper)
+    )
+
+
+__all__ = ["GaussLegendreRule", "unit_interval_rule", "DEFAULT_NODES"]

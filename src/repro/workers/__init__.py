@@ -1,0 +1,34 @@
+"""Worker behaviour substrate.
+
+The paper's algorithms never see a worker's true (latent) target-domain
+accuracy — they only observe answers to learning tasks plus the historical
+profile.  This package provides the simulated workers that generate those
+observations:
+
+* :mod:`repro.workers.profile` — the ``(h_i, n_i)`` historical profile of
+  Definition 2;
+* :mod:`repro.workers.behavior` — answer-generating behaviour models: static
+  workers (fixed latent accuracy) and learning workers whose accuracy grows
+  with training following the modified IRT curve the paper uses for its
+  synthetic datasets;
+* :mod:`repro.workers.population` — samplers that draw whole worker
+  populations from a truncated multivariate normal over per-domain
+  accuracies (Section V-A);
+* :mod:`repro.workers.pool` — the worker pool container used by the
+  platform and the selection algorithms.
+"""
+
+from repro.workers.behavior import LearningWorker, StaticWorker, WorkerBehavior
+from repro.workers.pool import WorkerPool
+from repro.workers.population import PopulationConfig, sample_learning_population
+from repro.workers.profile import WorkerProfile
+
+__all__ = [
+    "WorkerProfile",
+    "WorkerBehavior",
+    "StaticWorker",
+    "LearningWorker",
+    "WorkerPool",
+    "PopulationConfig",
+    "sample_learning_population",
+]

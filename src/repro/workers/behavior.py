@@ -1,0 +1,155 @@
+"""Answer-generating worker behaviour models.
+
+Two behaviours cover everything the paper needs:
+
+* :class:`StaticWorker` — a fixed latent accuracy; answers are i.i.d.
+  Bernoulli draws.  This is the classic crowdsourcing worker model and the
+  behaviour implicitly assumed by the US / ME / Li et al. baselines.
+* :class:`LearningWorker` — the latent target-domain accuracy evolves with
+  the number of learning tasks the worker has been *trained* on (answers
+  revealed), following the modified IRT curve the paper uses to build its
+  synthetic datasets:
+
+      accuracy(K) = sigmoid(logit(a_0) + alpha * ln(K + 1))
+
+  where ``a_0`` is the worker's accuracy before any target-domain training
+  and ``alpha`` the per-worker learning rate.  At ``K = 0`` the curve passes
+  exactly through ``a_0``; faster learners (larger ``alpha``) improve more
+  from the same amount of training.  A negative ``alpha`` is allowed — it
+  arises from the paper's synthetic recipe when a worker's sampled quality
+  is below the cold-start accuracy, and models workers who drift into
+  systematic confusion as tasks accumulate.
+
+Workers only *learn* when ground-truth answers are revealed to them
+(``observe_feedback``), matching the paper's answer-and-learn protocol: the
+accuracy used for a batch of answers is the accuracy *before* that batch's
+feedback arrives.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.irt.rasch import logit, sigmoid
+from repro.stats.rng import SeedLike, as_generator
+from repro.workers.profile import WorkerProfile
+
+
+class WorkerBehavior(abc.ABC):
+    """Interface every simulated worker implements."""
+
+    def __init__(self, profile: WorkerProfile) -> None:
+        self._profile = profile
+        self._training_exposure = 0.0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def profile(self) -> WorkerProfile:
+        """The worker's historical ``(h_i, n_i)`` profile."""
+        return self._profile
+
+    @property
+    def worker_id(self) -> str:
+        return self._profile.worker_id
+
+    @property
+    def training_exposure(self) -> float:
+        """Cumulative number of target-domain learning tasks with revealed answers."""
+        return self._training_exposure
+
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def accuracy_at(self, exposure: float) -> float:
+        """Latent target-domain accuracy after ``exposure`` revealed learning tasks."""
+
+    @property
+    def current_accuracy(self) -> float:
+        """Latent accuracy at the worker's current training exposure."""
+        return self.accuracy_at(self._training_exposure)
+
+    def answer_tasks(self, n_tasks: int, rng: SeedLike = None) -> np.ndarray:
+        """Simulate answering ``n_tasks`` target-domain tasks.
+
+        Returns a boolean array of per-task correctness drawn i.i.d. at the
+        worker's *current* accuracy (training from these tasks only takes
+        effect once :meth:`observe_feedback` is called, mirroring the
+        answer-then-learn protocol).
+        """
+        if n_tasks < 0:
+            raise ValueError(f"n_tasks must be non-negative, got {n_tasks}")
+        generator = as_generator(rng)
+        return generator.uniform(size=n_tasks) < self.current_accuracy
+
+    def observe_feedback(self, n_tasks: int) -> None:
+        """Reveal the ground truth of ``n_tasks`` learning tasks to the worker."""
+        if n_tasks < 0:
+            raise ValueError(f"n_tasks must be non-negative, got {n_tasks}")
+        self._training_exposure += float(n_tasks)
+
+    def reset_training(self) -> None:
+        """Forget all target-domain training (used between experiment repetitions)."""
+        self._training_exposure = 0.0
+
+
+class StaticWorker(WorkerBehavior):
+    """A worker whose target-domain accuracy never changes."""
+
+    def __init__(self, profile: WorkerProfile, target_accuracy: float) -> None:
+        super().__init__(profile)
+        if not 0.0 <= target_accuracy <= 1.0:
+            raise ValueError(f"target_accuracy must lie in [0, 1], got {target_accuracy}")
+        self._target_accuracy = float(target_accuracy)
+
+    def accuracy_at(self, exposure: float) -> float:
+        if exposure < 0:
+            raise ValueError("exposure must be non-negative")
+        return self._target_accuracy
+
+
+class LearningWorker(WorkerBehavior):
+    """A worker that learns from revealed answers along a logistic curve."""
+
+    def __init__(
+        self,
+        profile: WorkerProfile,
+        initial_accuracy: float,
+        learning_rate: float,
+        max_accuracy: float = 0.995,
+        min_accuracy: float = 0.005,
+    ) -> None:
+        super().__init__(profile)
+        if not 0.0 < initial_accuracy < 1.0:
+            raise ValueError(f"initial_accuracy must lie in (0, 1), got {initial_accuracy}")
+        if not np.isfinite(learning_rate):
+            raise ValueError(f"learning_rate must be finite, got {learning_rate}")
+        if not 0.0 < max_accuracy <= 1.0:
+            raise ValueError(f"max_accuracy must lie in (0, 1], got {max_accuracy}")
+        if not 0.0 <= min_accuracy < max_accuracy:
+            raise ValueError("min_accuracy must lie in [0, max_accuracy)")
+        self._initial_accuracy = float(initial_accuracy)
+        self._learning_rate = float(learning_rate)
+        self._max_accuracy = float(max_accuracy)
+        self._min_accuracy = float(min_accuracy)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def initial_accuracy(self) -> float:
+        """Accuracy before any target-domain training (``a_0``)."""
+        return self._initial_accuracy
+
+    @property
+    def learning_rate(self) -> float:
+        """The worker's true learning rate ``alpha`` (hidden from the algorithms)."""
+        return self._learning_rate
+
+    def accuracy_at(self, exposure: float) -> float:
+        if exposure < 0:
+            raise ValueError("exposure must be non-negative")
+        value = sigmoid(logit(self._initial_accuracy) + self._learning_rate * np.log1p(exposure))
+        return float(np.clip(value, self._min_accuracy, self._max_accuracy))
+
+
+__all__ = ["WorkerBehavior", "StaticWorker", "LearningWorker"]

@@ -1,0 +1,107 @@
+"""Tests for the label-aggregation substrate (majority vote and Dawid-Skene)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aggregation import DawidSkeneAggregator, majority_vote
+
+
+class TestMajorityVote:
+    def test_unanimous(self):
+        answers = np.array([[1, 0], [1, 0], [1, 0]], dtype=float)
+        result = majority_vote(answers)
+        np.testing.assert_array_equal(result.labels, [True, False])
+
+    def test_majority_wins(self):
+        answers = np.array([[1, 1], [1, 0], [0, 0]], dtype=float)
+        result = majority_vote(answers)
+        np.testing.assert_array_equal(result.labels, [True, False])
+
+    def test_tie_break(self):
+        answers = np.array([[1, 0], [0, 1]], dtype=float)
+        assert majority_vote(answers, tie_break=True).labels.tolist() == [True, True]
+        assert majority_vote(answers, tie_break=False).labels.tolist() == [False, False]
+
+    def test_missing_answers_ignored(self):
+        answers = np.array([[1, np.nan], [np.nan, 0], [1, 0]], dtype=float)
+        result = majority_vote(answers)
+        np.testing.assert_array_equal(result.total_votes, [2, 2])
+        np.testing.assert_array_equal(result.labels, [True, False])
+
+    def test_mask_argument(self):
+        answers = np.ones((3, 2))
+        mask = np.array([[True, False], [True, False], [False, False]])
+        result = majority_vote(answers, mask=mask)
+        assert result.total_votes[1] == 0
+
+    def test_accuracy_against_gold(self):
+        answers = np.array([[1, 0, 1], [1, 0, 0], [1, 1, 1]], dtype=float)
+        result = majority_vote(answers)
+        assert result.accuracy_against([True, False, True]) == pytest.approx(1.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            majority_vote(np.ones((2, 2)), mask=np.ones((3, 2), dtype=bool))
+
+    def test_gold_length_validation(self):
+        result = majority_vote(np.ones((2, 3)))
+        with pytest.raises(ValueError):
+            result.accuracy_against([True, False])
+
+
+class TestDawidSkene:
+    def simulate(self, n_workers=8, n_tasks=120, accuracies=None, seed=0):
+        rng = np.random.default_rng(seed)
+        accuracies = accuracies if accuracies is not None else np.linspace(0.55, 0.9, n_workers)
+        truth = rng.uniform(size=n_tasks) < 0.5
+        answers = np.zeros((n_workers, n_tasks))
+        for w, accuracy in enumerate(accuracies):
+            correct = rng.uniform(size=n_tasks) < accuracy
+            answers[w] = np.where(correct, truth, ~truth)
+        return answers, truth, np.asarray(accuracies)
+
+    def test_beats_or_matches_majority_vote(self):
+        answers, truth, _ = self.simulate(accuracies=[0.95, 0.9, 0.55, 0.52, 0.51])
+        mv_accuracy = majority_vote(answers).accuracy_against(truth)
+        ds_accuracy = DawidSkeneAggregator().aggregate(answers).accuracy_against(truth)
+        assert ds_accuracy >= mv_accuracy - 0.02
+
+    def test_recovers_most_labels(self):
+        answers, truth, _ = self.simulate()
+        result = DawidSkeneAggregator().aggregate(answers)
+        assert result.accuracy_against(truth) > 0.9
+
+    def test_worker_quality_ordering_recovered(self):
+        answers, _, accuracies = self.simulate(n_tasks=400)
+        result = DawidSkeneAggregator().aggregate(answers)
+        estimated = result.worker_accuracy
+        assert np.corrcoef(estimated, accuracies)[0, 1] > 0.7
+
+    def test_posterior_probabilities_valid(self):
+        answers, _, _ = self.simulate(n_tasks=50)
+        result = DawidSkeneAggregator().aggregate(answers)
+        assert np.all((result.posterior_positive >= 0) & (result.posterior_positive <= 1))
+
+    def test_missing_answers_supported(self):
+        answers, truth, _ = self.simulate(n_tasks=80)
+        answers[0, :40] = np.nan
+        result = DawidSkeneAggregator().aggregate(answers)
+        assert result.labels.shape == (80,)
+
+    def test_converges(self):
+        answers, _, _ = self.simulate(n_tasks=60)
+        result = DawidSkeneAggregator(max_iterations=200).aggregate(answers)
+        assert result.converged
+        assert result.n_iterations <= 200
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DawidSkeneAggregator(max_iterations=0)
+        with pytest.raises(ValueError):
+            DawidSkeneAggregator(tolerance=0)
+
+    def test_mask_shape_validated(self):
+        with pytest.raises(ValueError):
+            DawidSkeneAggregator().aggregate(np.ones((2, 3)), mask=np.ones((2, 2), dtype=bool))

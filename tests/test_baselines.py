@@ -1,0 +1,129 @@
+"""Tests for the baseline selectors (US, ME, Li et al., ME-CPE, random, oracle)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    LiRegressionSelector,
+    MeCpeSelector,
+    MedianEliminationSelector,
+    OracleSelector,
+    OursSelector,
+    RandomSelector,
+    UniformSamplingSelector,
+)
+from repro.baselines.li_regression import fit_linear_regression, predict_linear_regression
+from repro.core.cpe import CPEConfig
+from repro.core.lge import LGEConfig
+
+
+FAST_CPE = CPEConfig(n_epochs=2, n_quadrature_nodes=24)
+FAST_LGE = LGEConfig()
+
+
+class TestUniformSampling:
+    def test_selects_k_workers(self, static_environment):
+        result = UniformSamplingSelector().select(static_environment)
+        assert len(result.selected_worker_ids) == static_environment.schedule.k
+
+    def test_single_round(self, static_environment):
+        result = UniformSamplingSelector().select(static_environment)
+        assert result.n_rounds == 1
+
+    def test_finds_best_static_workers_with_large_budget(self, static_environment):
+        result = UniformSamplingSelector().select(static_environment)
+        assert set(result.selected_worker_ids) == {"static-0", "static-1"}
+
+    def test_budget_respected(self, static_environment):
+        result = UniformSamplingSelector().select(static_environment)
+        assert result.spent_budget <= static_environment.schedule.total_budget
+
+
+class TestMedianEliminationBaseline:
+    def test_selects_k(self, static_environment):
+        result = MedianEliminationSelector(rng=0).select(static_environment)
+        assert len(result.selected_worker_ids) == 2
+
+    def test_name(self):
+        assert MedianEliminationSelector().name == "me"
+
+    def test_runs_all_rounds(self, tiny_environment):
+        result = MedianEliminationSelector(rng=0).select(tiny_environment)
+        assert result.n_rounds == tiny_environment.schedule.n_rounds
+
+
+class TestLiRegression:
+    def test_regression_recovers_linear_relationship(self):
+        rng = np.random.default_rng(0)
+        features = rng.uniform(size=(200, 3))
+        targets = 0.2 + features @ np.array([0.5, -0.3, 0.1])
+        coefficients = fit_linear_regression(features, targets)
+        np.testing.assert_allclose(coefficients, [0.2, 0.5, -0.3, 0.1], atol=1e-6)
+
+    def test_prediction_consistency(self):
+        features = np.array([[0.5, 0.5], [0.9, 0.1]])
+        coefficients = np.array([0.1, 0.5, 0.2])
+        predictions = predict_linear_regression(coefficients, features)
+        np.testing.assert_allclose(predictions, [0.1 + 0.25 + 0.1, 0.1 + 0.45 + 0.02])
+
+    def test_nan_features_imputed(self):
+        features = np.array([[0.5, np.nan], [0.7, 0.3]])
+        coefficients = fit_linear_regression(features, np.array([0.5, 0.6]))
+        predictions = predict_linear_regression(coefficients, features)
+        assert np.all(np.isfinite(predictions))
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            fit_linear_regression(np.ones((3, 2)), np.ones(2))
+
+    def test_selector_selects_k(self, static_environment):
+        result = LiRegressionSelector().select(static_environment)
+        assert len(result.selected_worker_ids) == 2
+        assert "coefficients" in result.diagnostics
+
+    def test_selector_prefers_profile_correlated_workers(self, static_environment):
+        # Static pool: profiles equal the target accuracy, so regression should rank them correctly.
+        result = LiRegressionSelector().select(static_environment)
+        assert set(result.selected_worker_ids) == {"static-0", "static-1"}
+
+
+class TestAblationWrappers:
+    def test_me_cpe_name_and_k(self, tiny_environment):
+        result = MeCpeSelector(cpe_config=FAST_CPE, rng=0).select(tiny_environment)
+        assert result.method == "me-cpe"
+        assert len(result.selected_worker_ids) == tiny_environment.schedule.k
+
+    def test_ours_name_and_k(self, tiny_instance):
+        environment = tiny_instance.environment(run_seed=4)
+        result = OursSelector(cpe_config=FAST_CPE, lge_config=FAST_LGE, rng=0).select(environment)
+        assert result.method == "ours"
+        assert len(result.selected_worker_ids) == tiny_instance.schedule.k
+
+    def test_ours_diagnostics_include_alphas(self, tiny_instance):
+        environment = tiny_instance.environment(run_seed=4)
+        result = OursSelector(cpe_config=FAST_CPE, lge_config=FAST_LGE, rng=0).select(environment)
+        assert result.diagnostics["fitted_alphas"]
+
+
+class TestRandomAndOracle:
+    def test_random_selects_k_unique(self, static_environment):
+        result = RandomSelector(rng=0).select(static_environment)
+        assert len(set(result.selected_worker_ids)) == 2
+
+    def test_random_spends_no_budget(self, static_environment):
+        result = RandomSelector(rng=0).select(static_environment)
+        assert result.spent_budget == 0
+
+    def test_oracle_matches_ground_truth(self, static_environment):
+        result = OracleSelector().select(static_environment)
+        assert result.selected_worker_ids == static_environment.ground_truth_top_k(2)
+
+    def test_oracle_upper_bounds_random(self, tiny_instance):
+        environment = tiny_instance.environment(run_seed=0)
+        oracle = environment.evaluate_selection(OracleSelector().select(environment).selected_worker_ids)
+        random_result = environment.evaluate_selection(
+            RandomSelector(rng=1).select(environment).selected_worker_ids
+        )
+        assert oracle.mean_accuracy >= random_result.mean_accuracy - 1e-9

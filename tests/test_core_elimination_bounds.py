@@ -1,0 +1,129 @@
+"""Tests for Median Elimination (Algorithm 3) and the theoretical bounds (Theorems 1-2)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import (
+    delta_schedule,
+    epsilon_for_round,
+    required_tasks_per_worker,
+    round_error_bound,
+    total_failure_probability,
+)
+from repro.core.elimination import elimination_trajectory, median_eliminate
+
+
+class TestMedianEliminate:
+    def test_keeps_best_half(self):
+        survivors = median_eliminate(["a", "b", "c", "d"], [0.9, 0.2, 0.7, 0.4])
+        assert survivors == ["a", "c"]
+
+    def test_odd_pool_keeps_ceil_half(self):
+        survivors = median_eliminate(["a", "b", "c", "d", "e"], [0.5, 0.4, 0.3, 0.2, 0.1])
+        assert len(survivors) == 3
+
+    def test_explicit_keep(self):
+        survivors = median_eliminate(["a", "b", "c"], [0.1, 0.9, 0.5], keep=1)
+        assert survivors == ["b"]
+
+    def test_keep_capped_at_pool_size(self):
+        survivors = median_eliminate(["a", "b"], [0.1, 0.2], keep=10)
+        assert len(survivors) == 2
+
+    def test_ties_broken_deterministically(self):
+        first = median_eliminate(["b", "a", "c", "d"], [0.5, 0.5, 0.5, 0.5])
+        second = median_eliminate(["d", "c", "a", "b"], [0.5, 0.5, 0.5, 0.5])
+        assert first == second
+
+    def test_survivors_sorted_by_estimate(self):
+        survivors = median_eliminate(["a", "b", "c", "d"], [0.3, 0.9, 0.5, 0.7])
+        assert survivors == ["b", "d"]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            median_eliminate(["a"], [0.1, 0.2])
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            median_eliminate([], [])
+
+    def test_invalid_keep_rejected(self):
+        with pytest.raises(ValueError):
+            median_eliminate(["a"], [0.5], keep=0)
+
+    def test_halving_reaches_k(self):
+        sizes = elimination_trajectory(40, 5)
+        assert sizes == [40, 20, 10, 5]
+        assert elimination_trajectory(27, 7) == [27, 14, 7]
+
+    def test_trajectory_validation(self):
+        with pytest.raises(ValueError):
+            elimination_trajectory(0, 5)
+
+
+class TestBounds:
+    def test_required_tasks_matches_theorem(self):
+        epsilon, delta = 0.2, 0.1
+        expected = math.ceil((2 / epsilon**2) * math.log(3 / delta))
+        assert required_tasks_per_worker(epsilon, delta) == expected
+
+    def test_epsilon_inverts_required_tasks(self):
+        delta = 0.05
+        for epsilon in (0.1, 0.2, 0.5):
+            tasks = required_tasks_per_worker(epsilon, delta)
+            assert epsilon_for_round(tasks, delta) <= epsilon + 1e-9
+
+    def test_epsilon_decreases_with_more_tasks(self):
+        assert epsilon_for_round(100, 0.1) < epsilon_for_round(10, 0.1)
+
+    def test_round_error_bound_shrinks_with_budget(self):
+        small = round_error_bound(n_rounds=3, k=5, total_budget=500, delta=0.1)
+        large = round_error_bound(n_rounds=3, k=5, total_budget=5000, delta=0.1)
+        assert large < small
+
+    def test_round_error_bound_formula(self):
+        value = round_error_bound(2, 4, 800, 0.1, constant=2.0)
+        assert value == pytest.approx(math.sqrt(2.0 * (2 * 4 / 800) * math.log(10)))
+
+    def test_delta_schedule_halves(self):
+        schedule = delta_schedule(0.2, 4)
+        assert schedule == [0.2, 0.1, 0.05, 0.025]
+
+    def test_total_failure_probability_below_two_delta(self):
+        assert total_failure_probability(0.1, 10) < 0.2
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            required_tasks_per_worker(0.0, 0.1)
+        with pytest.raises(ValueError):
+            epsilon_for_round(0, 0.1)
+        with pytest.raises(ValueError):
+            round_error_bound(0, 5, 100, 0.1)
+        with pytest.raises(ValueError):
+            delta_schedule(1.5, 3)
+
+    def test_empirical_elimination_error_within_bound(self):
+        """Monte-Carlo check of Theorem 1's guarantee on static workers.
+
+        With ``tasks = required_tasks_per_worker(eps, delta)`` Bernoulli
+        samples per worker, the best surviving worker should be within
+        ``eps`` of the overall best with frequency at least ``1 - delta``.
+        """
+        rng = np.random.default_rng(0)
+        epsilon, delta = 0.25, 0.1
+        tasks = required_tasks_per_worker(epsilon, delta)
+        true_accuracies = np.array([0.85, 0.7, 0.6, 0.5, 0.45, 0.4])
+        worker_ids = [f"w{i}" for i in range(len(true_accuracies))]
+        failures = 0
+        trials = 200
+        for _ in range(trials):
+            observed = rng.binomial(tasks, true_accuracies) / tasks
+            survivors = median_eliminate(worker_ids, observed)
+            best_surviving = max(true_accuracies[worker_ids.index(w)] for w in survivors)
+            if best_surviving < true_accuracies.max() - epsilon:
+                failures += 1
+        assert failures / trials <= delta + 0.05

@@ -1,0 +1,110 @@
+"""Tests for the full selection pipeline (Algorithm 4) and its ablation switches."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cpe import CPEConfig
+from repro.core.lge import LGEConfig
+from repro.core.pipeline import CrossDomainWorkerSelector
+from repro.core.selector import SelectionResult, top_k_by_score
+
+
+def fast_selector(use_cpe=True, use_lge=True, rng=0, at=0.5) -> CrossDomainWorkerSelector:
+    return CrossDomainWorkerSelector(
+        cpe_config=CPEConfig(n_epochs=2, n_quadrature_nodes=24, initial_target_mean=at),
+        lge_config=LGEConfig(target_initial_accuracy=at),
+        use_cpe=use_cpe,
+        use_lge=use_lge,
+        rng=rng,
+    )
+
+
+class TestSelectorInterface:
+    def test_top_k_by_score(self):
+        scores = {"a": 0.2, "b": 0.9, "c": 0.5}
+        assert top_k_by_score(scores, 2) == ["b", "c"]
+
+    def test_top_k_ties_deterministic(self):
+        assert top_k_by_score({"b": 0.5, "a": 0.5}, 1) == ["a"]
+
+    def test_top_k_invalid_k(self):
+        with pytest.raises(ValueError):
+            top_k_by_score({"a": 1.0}, 0)
+
+    def test_selection_result_validation(self):
+        with pytest.raises(ValueError):
+            SelectionResult(method="m", selected_worker_ids=[])
+        with pytest.raises(ValueError):
+            SelectionResult(method="m", selected_worker_ids=["a", "a"])
+
+    def test_names_reflect_ablation_flags(self):
+        assert fast_selector(True, True).name == "ours"
+        assert fast_selector(True, False).name == "me-cpe"
+        assert fast_selector(False, False).name == "me"
+
+
+class TestPipelineRun:
+    def test_selects_k_workers(self, tiny_environment):
+        result = fast_selector().select(tiny_environment)
+        assert len(result.selected_worker_ids) == tiny_environment.schedule.k
+        assert len(set(result.selected_worker_ids)) == tiny_environment.schedule.k
+
+    def test_respects_budget(self, tiny_environment):
+        result = fast_selector().select(tiny_environment)
+        assert result.spent_budget <= tiny_environment.schedule.total_budget
+
+    def test_runs_expected_number_of_rounds(self, tiny_environment):
+        result = fast_selector().select(tiny_environment)
+        assert result.n_rounds == tiny_environment.schedule.n_rounds
+        assert len(result.diagnostics["rounds"]) == result.n_rounds
+
+    def test_round_diagnostics_halve_pool(self, tiny_environment):
+        result = fast_selector().select(tiny_environment)
+        rounds = result.diagnostics["rounds"]
+        for diag in rounds:
+            assert len(diag.survivors) == int(np.ceil(len(diag.worker_ids) / 2))
+
+    def test_k_override(self, tiny_instance):
+        environment = tiny_instance.environment(run_seed=1)
+        result = fast_selector().select(environment, k=2)
+        assert len(result.selected_worker_ids) == 2
+
+    def test_estimated_accuracies_in_range(self, tiny_environment):
+        result = fast_selector().select(tiny_environment)
+        assert all(0.0 <= value <= 1.0 for value in result.estimated_accuracies.values())
+
+    def test_diagnostics_contain_correlations_when_cpe_enabled(self, tiny_environment):
+        result = fast_selector().select(tiny_environment)
+        correlations = result.diagnostics["estimated_correlations"]
+        assert set(correlations) == set(tiny_environment.prior_domains)
+
+    def test_me_variant_has_no_cpe_diagnostics(self, tiny_instance):
+        environment = tiny_instance.environment(run_seed=0)
+        result = fast_selector(use_cpe=False, use_lge=False).select(environment)
+        assert "estimated_correlations" not in result.diagnostics
+        assert "fitted_alphas" not in result.diagnostics
+
+    def test_me_variant_ranks_by_observed_accuracy(self, static_environment):
+        # On static workers with a generous budget, plain ME must find the best two.
+        result = fast_selector(use_cpe=False, use_lge=False, rng=5).select(static_environment)
+        assert set(result.selected_worker_ids) == {"static-0", "static-1"}
+
+    def test_deterministic_given_seeds(self, tiny_instance):
+        first = fast_selector(rng=7).select(tiny_instance.environment(run_seed=3))
+        second = fast_selector(rng=7).select(tiny_instance.environment(run_seed=3))
+        assert first.selected_worker_ids == second.selected_worker_ids
+
+    def test_different_run_seeds_may_differ_but_stay_valid(self, tiny_instance):
+        result = fast_selector(rng=7).select(tiny_instance.environment(run_seed=8))
+        assert len(result.selected_worker_ids) == tiny_instance.schedule.k
+
+    def test_cumulative_exposures_monotone(self, tiny_environment):
+        result = fast_selector().select(tiny_environment)
+        exposures = result.diagnostics["cumulative_exposures"]
+        assert all(b >= a for a, b in zip(exposures, exposures[1:]))
+
+    def test_resolve_k_validation(self, tiny_environment):
+        with pytest.raises(ValueError):
+            fast_selector().select(tiny_environment, k=0)

@@ -1,0 +1,95 @@
+"""Tests for the evaluation metrics and the comparison runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import OracleSelector, RandomSelector, UniformSamplingSelector
+from repro.core.selector import SelectionResult
+from repro.evaluation.comparison import compare_selectors, evaluate_selector
+from repro.evaluation.ground_truth import ground_truth_accuracy, ground_truth_selection
+from repro.evaluation.metrics import (
+    mean_of,
+    precision_at_k,
+    regret,
+    relative_improvement,
+    selection_accuracy,
+)
+
+
+class TestMetrics:
+    def test_selection_accuracy_static(self, static_environment):
+        result = SelectionResult(method="manual", selected_worker_ids=["static-0", "static-4"])
+        assert selection_accuracy(static_environment, result) == pytest.approx((0.9 + 0.5) / 2)
+
+    def test_relative_improvement(self):
+        assert relative_improvement(0.88, 0.8) == pytest.approx(0.1)
+        with pytest.raises(ValueError):
+            relative_improvement(0.5, 0.0)
+
+    def test_regret_zero_for_oracle(self, static_environment):
+        result = OracleSelector().select(static_environment)
+        assert regret(static_environment, result) == pytest.approx(0.0, abs=1e-12)
+
+    def test_regret_positive_for_bad_selection(self, static_environment):
+        result = SelectionResult(method="manual", selected_worker_ids=["static-3", "static-4"])
+        assert regret(static_environment, result) > 0
+
+    def test_precision_at_k(self, static_environment):
+        perfect = SelectionResult(method="manual", selected_worker_ids=["static-0", "static-1"])
+        half = SelectionResult(method="manual", selected_worker_ids=["static-0", "static-4"])
+        assert precision_at_k(static_environment, perfect) == 1.0
+        assert precision_at_k(static_environment, half) == 0.5
+
+    def test_mean_of(self):
+        assert mean_of([1.0, 2.0, 3.0]) == 2.0
+        with pytest.raises(ValueError):
+            mean_of([])
+
+
+class TestGroundTruth:
+    def test_ground_truth_selection(self, static_environment):
+        assert ground_truth_selection(static_environment, 3) == ["static-0", "static-1", "static-2"]
+
+    def test_ground_truth_accuracy_matches_instance(self, tiny_instance):
+        value = ground_truth_accuracy(tiny_instance)
+        assert value == pytest.approx(tiny_instance.ground_truth_mean_accuracy())
+
+    def test_ground_truth_accuracy_k_override(self, tiny_instance):
+        assert ground_truth_accuracy(tiny_instance, k=1) >= ground_truth_accuracy(tiny_instance, k=5)
+
+
+class TestComparisonRunner:
+    def test_evaluate_selector_fields(self, tiny_instance):
+        evaluation = evaluate_selector(tiny_instance, UniformSamplingSelector(), run_seed=0)
+        assert set(evaluation) >= {"method", "accuracy", "precision", "selected", "result"}
+        assert 0.0 <= evaluation["accuracy"] <= 1.0
+
+    def test_compare_selectors_repetitions(self, tiny_instance):
+        factories = {
+            "us": lambda seed: UniformSamplingSelector(),
+            "random": lambda seed: RandomSelector(rng=seed),
+        }
+        comparisons = compare_selectors(tiny_instance, factories, n_repetitions=3, base_seed=1)
+        assert set(comparisons) == {"us", "random"}
+        assert len(comparisons["us"].accuracies) == 3
+        assert np.isfinite(comparisons["us"].mean_accuracy)
+
+    def test_compare_selectors_validation(self, tiny_instance):
+        with pytest.raises(ValueError):
+            compare_selectors(tiny_instance, {}, n_repetitions=0)
+
+    def test_us_beats_random_on_average(self, tiny_instance):
+        factories = {
+            "us": lambda seed: UniformSamplingSelector(),
+            "random": lambda seed: RandomSelector(rng=seed),
+        }
+        comparisons = compare_selectors(tiny_instance, factories, n_repetitions=5, base_seed=3)
+        assert comparisons["us"].mean_accuracy >= comparisons["random"].mean_accuracy - 0.05
+
+    def test_method_comparison_statistics(self, tiny_instance):
+        factories = {"us": lambda seed: UniformSamplingSelector()}
+        comparison = compare_selectors(tiny_instance, factories, n_repetitions=2)["us"]
+        assert comparison.std_accuracy >= 0.0
+        assert 0.0 <= comparison.mean_precision <= 1.0

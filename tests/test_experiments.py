@@ -1,0 +1,207 @@
+"""Tests for the experiment harness (table/figure runners, report rendering, CLI)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.config import BENCHMARK_CONFIG, METHOD_LABELS, METHOD_ORDER, ExperimentConfig
+from repro.datasets.synthetic import synthetic_spec
+from repro.experiments.correlation import run_correlation_recovery
+from repro.experiments.figure5 import run_figure5, stability_range
+from repro.experiments.figure6 import FIGURE6_K_VALUES, run_figure6
+from repro.experiments.figure7 import gap_to_best_baseline, run_figure7
+from repro.experiments.report import format_table, results_to_markdown
+from repro.experiments.runner import run_method_comparison
+from repro.experiments.runtime import run_runtime
+from repro.experiments.table2 import PAPER_TABLE_II, run_table2
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5, table5_rows
+from repro.experiments.training_gain import break_even_ratio, run_training_gain
+
+# A fast configuration + tiny dataset spec reused by the heavier runners.
+FAST_CONFIG = ExperimentConfig(n_repetitions=1, base_seed=5, cpe_epochs=2)
+TINY_SPECS = {"tiny": synthetic_spec("tiny", n_workers=10, tasks_per_batch=4, k=3)}
+
+
+class TestConfig:
+    def test_method_order_and_labels(self):
+        assert METHOD_ORDER == ["us", "me", "li", "me-cpe", "ours"]
+        assert all(method in METHOD_LABELS for method in METHOD_ORDER)
+
+    def test_selector_factories_cover_roster(self):
+        factories = ExperimentConfig().selector_factories()
+        assert set(factories) == set(METHOD_ORDER)
+        selector = factories["ours"](seed=1)
+        assert selector.name == "ours"
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(KeyError):
+            ExperimentConfig().selector_factories(["nope"])
+
+    def test_config_propagates_at(self):
+        config = ExperimentConfig(target_initial_accuracy=0.3)
+        assert config.cpe_config().initial_target_mean == 0.3
+        assert config.lge_config().target_initial_accuracy == 0.3
+
+    def test_benchmark_config_is_light(self):
+        assert BENCHMARK_CONFIG.n_repetitions <= 3
+
+
+class TestRunner:
+    def test_run_method_comparison_structure(self):
+        results = run_method_comparison(["tiny"], config=FAST_CONFIG, methods=["us", "me"], specs=TINY_SPECS)
+        assert set(results) == {"tiny"}
+        result = results["tiny"]
+        assert set(result.method_accuracies) == {"us", "me"}
+        assert len(result.ground_truths) == FAST_CONFIG.n_repetitions
+        assert 0.0 <= result.mean_accuracy("us") <= 1.0
+        assert 0.0 <= result.ground_truth <= 1.0
+
+    def test_relative_improvement_computation(self):
+        results = run_method_comparison(["tiny"], config=FAST_CONFIG, methods=["us", "me"], specs=TINY_SPECS)
+        result = results["tiny"]
+        expected = (result.mean_accuracy("me") - result.mean_accuracy("us")) / result.mean_accuracy("us")
+        assert result.relative_improvement("me", "us") == pytest.approx(expected)
+
+    def test_k_override(self):
+        results = run_method_comparison(
+            ["tiny"], config=FAST_CONFIG, methods=["us"], specs=TINY_SPECS, k_override=2
+        )
+        assert results["tiny"].k == 2
+
+    def test_runtimes_recorded(self):
+        results = run_method_comparison(["tiny"], config=FAST_CONFIG, methods=["us"], specs=TINY_SPECS)
+        assert results["tiny"].mean_runtime("us") > 0
+
+
+class TestTables:
+    def test_table2_matches_paper_except_s2(self):
+        rows = run_table2()
+        by_name = {row["dataset"]: row for row in rows}
+        for name in ("RW-1", "RW-2", "S-1", "S-3", "S-4"):
+            assert by_name[name]["matches_paper"], name
+        assert set(PAPER_TABLE_II) == set(by_name)
+
+    def test_table2_subset(self):
+        rows = run_table2(["RW-1"])
+        assert len(rows) == 1
+
+    def test_table4_structure(self):
+        output = run_table4(["RW-1", "S-1"], seed=0)
+        assert {row["dataset"] for row in output["moments"]} == {"RW-1", "S-1"}
+        assert len(output["consistency"]) == 1
+        assert -1.0 <= output["consistency"][0]["pearson"] <= 1.0
+
+    def test_table5_rows_layout(self):
+        results = run_method_comparison(["tiny"], config=FAST_CONFIG, methods=list(METHOD_ORDER), specs=TINY_SPECS)
+        rows = table5_rows(results)
+        assert rows[-1]["method"] == "ground-truth"
+        assert len(rows) == len(METHOD_ORDER) + 1
+
+    def test_run_table5_on_subset(self):
+        results = run_table5(["RW-1"], config=ExperimentConfig(n_repetitions=1, base_seed=2, cpe_epochs=2))
+        assert "RW-1" in results
+        assert results["RW-1"].ground_truth > 0.5
+
+
+class TestFigures:
+    def test_figure5_rows(self):
+        rows = run_figure5(["RW-1"], at_values=(0.3, 0.5), config=FAST_CONFIG)
+        assert len(rows) == 2
+        assert all(0.0 <= float(row["RW-1"]) <= 1.0 for row in rows)
+
+    def test_figure5_invalid_at_rejected(self):
+        with pytest.raises(ValueError):
+            run_figure5(["RW-1"], at_values=(0.0,), config=FAST_CONFIG)
+
+    def test_stability_range(self):
+        rows = [
+            {"a_T": 0.1, "X": 0.70},
+            {"a_T": 0.5, "X": 0.80},
+            {"a_T": 0.9, "X": 0.78},
+        ]
+        info = stability_range(rows, "X", tolerance=0.05)
+        assert info["stable_min"] == 0.5
+        assert info["stable_max"] == 0.9
+
+    def test_figure6_k_values_cover_all_datasets(self):
+        assert set(FIGURE6_K_VALUES) == {"RW-1", "RW-2", "S-1", "S-2", "S-3", "S-4"}
+
+    def test_figure6_rows(self):
+        rows = run_figure6(["RW-1"], k_values={"RW-1": [7]}, config=FAST_CONFIG, methods=["us", "ours"])
+        assert len(rows) == 1
+        assert rows[0]["k"] == 7
+        assert 0.0 <= rows[0]["ours"] <= 1.0
+        assert rows[0]["ground-truth"] >= rows[0]["ours"] - 0.2
+
+    def test_figure7_rows_and_gap(self):
+        rows = run_figure7(["S-1"], q_values=(4,), config=FAST_CONFIG, methods=["us", "ours"])
+        assert rows[0]["Q"] == 4
+        gaps = gap_to_best_baseline(
+            [{"dataset": "S-1", "Q": 4, "us": 0.7, "me": 0.72, "li": 0.71, "me-cpe": 0.73, "ours": 0.8}],
+            "S-1",
+        )
+        assert gaps[4] == pytest.approx(0.07)
+
+    def test_figure7_invalid_q_rejected(self):
+        with pytest.raises(ValueError):
+            run_figure7(["S-1"], q_values=(0,), config=FAST_CONFIG)
+
+
+class TestSectionVH:
+    def test_runtime_rows(self):
+        rows = run_runtime(["RW-1"], config=FAST_CONFIG)
+        assert rows[0]["dataset"] == "RW-1"
+        assert rows[0]["seconds"] > 0
+        assert rows[0]["workers"] == 27
+
+    def test_correlation_recovery_rows(self):
+        rows = run_correlation_recovery(["RW-1"], config=FAST_CONFIG)
+        assert {row["prior_domain"] for row in rows} == {"elephant", "clownfish", "plane"}
+        assert all(np.isfinite(row["estimated"]) for row in rows)
+
+    def test_training_gain_rows(self):
+        rows = run_training_gain(["RW-1"], config=FAST_CONFIG)
+        row = rows[0]
+        assert row["after"] > row["before"]
+        assert row["break_even_ratio"] > 0
+
+    def test_break_even_ratio(self):
+        assert break_even_ratio(0.55, 0.79) == pytest.approx(0.55 / 0.24)
+        assert break_even_ratio(0.6, 0.6) == float("inf")
+        with pytest.raises(ValueError):
+            break_even_ratio(0.0, 0.5)
+
+
+class TestReportAndCli:
+    def test_format_table_alignment(self):
+        table = format_table([{"a": 1, "b": 0.5}, {"a": 22, "b": 0.25}])
+        lines = table.splitlines()
+        assert lines[0].startswith("| a")
+        assert len(lines) == 4
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_results_to_markdown_contains_all_methods(self):
+        results = run_method_comparison(["tiny"], config=FAST_CONFIG, methods=list(METHOD_ORDER), specs=TINY_SPECS)
+        markdown = results_to_markdown(results)
+        for label in ("US", "ME", "Li et al.", "ME-CPE", "Ours", "Ground Truth"):
+            assert label in markdown
+
+    def test_cli_parser_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["table2", "--datasets", "RW-1", "--repetitions", "2"])
+        assert args.experiment == "table2"
+        assert args.repetitions == 2
+
+    def test_cli_table2_runs(self, capsys):
+        assert main(["table2", "--datasets", "RW-1"]) == 0
+        captured = capsys.readouterr()
+        assert "RW-1" in captured.out
+
+    def test_cli_training_gain_runs(self, capsys):
+        assert main(["training-gain", "--datasets", "RW-1", "--repetitions", "1"]) == 0
+        assert "break_even_ratio" in capsys.readouterr().out

@@ -1,0 +1,139 @@
+"""End-to-end integration tests across modules.
+
+These exercise the whole stack — dataset generation, environment simulation,
+all selectors, evaluation and aggregation — on small but non-trivial
+configurations, and verify the behavioural claims the paper relies on
+(budget accounting, selection quality above chance, cross-module
+consistency).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    DATASET_NAMES,
+    LiRegressionSelector,
+    MeCpeSelector,
+    MedianEliminationSelector,
+    OracleSelector,
+    OursSelector,
+    RandomSelector,
+    UniformSamplingSelector,
+    load_dataset,
+)
+from repro.aggregation import DawidSkeneAggregator, majority_vote
+from repro.core.cpe import CPEConfig
+from repro.core.lge import LGEConfig
+from repro.datasets.synthetic import synthetic_spec
+from repro.evaluation.metrics import precision_at_k, selection_accuracy
+
+FAST_CPE = CPEConfig(n_epochs=3, n_quadrature_nodes=24)
+FAST_LGE = LGEConfig()
+
+
+def all_selectors(seed: int):
+    return [
+        UniformSamplingSelector(),
+        MedianEliminationSelector(rng=seed),
+        LiRegressionSelector(),
+        MeCpeSelector(cpe_config=FAST_CPE, rng=seed),
+        OursSelector(cpe_config=FAST_CPE, lge_config=FAST_LGE, rng=seed),
+    ]
+
+
+class TestFullSelectionRuns:
+    @pytest.mark.parametrize("dataset_name", ["RW-1", "S-1"])
+    def test_every_method_runs_on_registry_datasets(self, dataset_name):
+        instance = load_dataset(dataset_name, seed=1)
+        for selector in all_selectors(seed=2):
+            environment = instance.environment(run_seed=2)
+            result = selector.select(environment)
+            assert len(result.selected_worker_ids) == instance.schedule.k
+            assert environment.spent_budget <= instance.schedule.total_budget
+            accuracy = selection_accuracy(environment, result)
+            assert 0.0 <= accuracy <= 1.0
+
+    def test_all_registry_datasets_instantiate(self):
+        for name in DATASET_NAMES:
+            instance = load_dataset(name, seed=0)
+            assert len(instance.pool) == instance.spec.n_workers
+            assert instance.schedule.total_budget == instance.spec.total_budget()
+
+    def test_methods_beat_random_on_average(self):
+        spec = synthetic_spec("mid", n_workers=24, tasks_per_batch=8, k=4)
+        gaps = []
+        for repetition in range(3):
+            instance = spec.instantiate(seed=repetition)
+            environment = instance.environment(run_seed=repetition)
+            ours = OursSelector(cpe_config=FAST_CPE, lge_config=FAST_LGE, rng=repetition).select(environment)
+            ours_accuracy = selection_accuracy(environment, ours)
+            random_accuracy = np.mean(
+                [
+                    selection_accuracy(
+                        environment, RandomSelector(rng=100 + trial).select(environment)
+                    )
+                    for trial in range(5)
+                ]
+            )
+            gaps.append(ours_accuracy - random_accuracy)
+        assert np.mean(gaps) > 0.0
+
+    def test_oracle_upper_bounds_every_method(self):
+        instance = synthetic_spec("mid2", n_workers=20, tasks_per_batch=6, k=4).instantiate(seed=5)
+        environment = instance.environment(run_seed=5)
+        oracle_accuracy = selection_accuracy(environment, OracleSelector().select(environment))
+        for selector in all_selectors(seed=6):
+            env = instance.environment(run_seed=5)
+            accuracy = selection_accuracy(env, selector.select(env))
+            assert accuracy <= oracle_accuracy + 1e-9
+
+    def test_precision_correlates_with_accuracy(self):
+        instance = synthetic_spec("mid3", n_workers=20, tasks_per_batch=6, k=4).instantiate(seed=9)
+        environment = instance.environment(run_seed=9)
+        result = OursSelector(cpe_config=FAST_CPE, lge_config=FAST_LGE, rng=9).select(environment)
+        precision = precision_at_k(environment, result)
+        assert 0.0 <= precision <= 1.0
+
+
+class TestSelectionToAggregationPipeline:
+    def test_selected_workers_produce_better_aggregate_labels(self):
+        """Closing the loop: better selections should yield better aggregated labels."""
+        instance = synthetic_spec("agg", n_workers=24, tasks_per_batch=8, k=5).instantiate(seed=2)
+        environment = instance.environment(run_seed=2)
+        selection = OracleSelector().select(environment)
+        rng = np.random.default_rng(0)
+        n_tasks = 60
+        truth = rng.uniform(size=n_tasks) < 0.5
+
+        def answers_for(worker_ids):
+            matrix = np.zeros((len(worker_ids), n_tasks))
+            for row, worker_id in enumerate(worker_ids):
+                accuracy = environment.final_accuracy(worker_id)
+                correct = rng.uniform(size=n_tasks) < accuracy
+                matrix[row] = np.where(correct, truth, ~truth)
+            return matrix
+
+        best = majority_vote(answers_for(selection.selected_worker_ids)).accuracy_against(truth)
+        worst_ids = sorted(
+            environment.worker_ids, key=environment.final_accuracy
+        )[: len(selection.selected_worker_ids)]
+        worst = majority_vote(answers_for(worst_ids)).accuracy_against(truth)
+        assert best >= worst
+
+    def test_dawid_skene_runs_on_selected_workers(self):
+        instance = synthetic_spec("agg2", n_workers=16, tasks_per_batch=6, k=4).instantiate(seed=3)
+        environment = instance.environment(run_seed=3)
+        result = OracleSelector().select(environment)
+        rng = np.random.default_rng(1)
+        truth = rng.uniform(size=80) < 0.5
+        answers = np.vstack(
+            [
+                np.where(rng.uniform(size=80) < environment.final_accuracy(worker_id), truth, ~truth)
+                for worker_id in result.selected_worker_ids
+            ]
+        )
+        aggregate = DawidSkeneAggregator().aggregate(answers)
+        assert aggregate.labels.shape == (80,)
+        assert aggregate.accuracy_against(truth) >= 0.5

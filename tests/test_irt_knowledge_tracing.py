@@ -1,0 +1,85 @@
+"""Tests for the BKT and PFA extension models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.irt.bkt import BayesianKnowledgeTracing
+from repro.irt.pfa import PerformanceFactorModel
+
+
+class TestBKT:
+    def test_initial_prediction(self):
+        model = BayesianKnowledgeTracing(p_init=0.2, p_learn=0.1, p_slip=0.1, p_guess=0.25)
+        expected = 0.2 * 0.9 + 0.8 * 0.25
+        assert model.predicted_accuracy([]) == pytest.approx(expected)
+
+    def test_correct_answer_increases_mastery(self):
+        model = BayesianKnowledgeTracing()
+        assert model.posterior_mastery(0.3, correct=True) > 0.3
+
+    def test_wrong_answer_can_decrease_mastery_before_learning(self):
+        model = BayesianKnowledgeTracing(p_learn=0.0)
+        assert model.posterior_mastery(0.5, correct=False) < 0.5
+
+    def test_trace_length(self):
+        model = BayesianKnowledgeTracing()
+        assert len(model.trace([1, 0, 1])) == 3
+
+    def test_trace_values_are_probabilities(self):
+        model = BayesianKnowledgeTracing()
+        trajectory = model.trace([1] * 10)
+        assert all(0.0 <= value <= 1.0 for value in trajectory)
+
+    def test_expected_accuracy_curve_monotone(self):
+        model = BayesianKnowledgeTracing(p_init=0.1, p_learn=0.2, p_slip=0.05, p_guess=0.3)
+        curve = model.expected_accuracy_curve(20)
+        assert curve.shape == (21,)
+        assert np.all(np.diff(curve) >= -1e-12)
+
+    def test_degenerate_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            BayesianKnowledgeTracing(p_slip=0.5, p_guess=0.6)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            BayesianKnowledgeTracing(p_init=1.5)
+
+    def test_non_binary_response_rejected(self):
+        with pytest.raises(ValueError):
+            BayesianKnowledgeTracing().trace([2])
+
+
+class TestPFA:
+    def test_probability_at_zero_counts(self):
+        model = PerformanceFactorModel(easiness=0.0)
+        assert model.probability(0, 0) == pytest.approx(0.5)
+
+    def test_successes_increase_probability(self):
+        model = PerformanceFactorModel(easiness=0.0, success_weight=0.2, failure_weight=0.0)
+        assert model.probability(5, 0) > model.probability(1, 0)
+
+    def test_trace_predictions_precede_updates(self):
+        model = PerformanceFactorModel(easiness=0.0, success_weight=0.3, failure_weight=0.0)
+        predictions = model.trace([1, 1])
+        assert predictions[0] == pytest.approx(0.5)
+        assert predictions[1] > predictions[0]
+
+    def test_predicted_accuracy_counts_history(self):
+        model = PerformanceFactorModel(easiness=0.0, success_weight=0.1, failure_weight=-0.1)
+        assert model.predicted_accuracy([1, 1, 1]) > model.predicted_accuracy([0, 0, 0])
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            PerformanceFactorModel().probability(-1, 0)
+
+    def test_expected_accuracy_curve_shape(self):
+        model = PerformanceFactorModel(easiness=-0.5, success_weight=0.1, failure_weight=0.02)
+        curve = model.expected_accuracy_curve(15, latent_accuracy=0.7)
+        assert curve.shape == (16,)
+        assert np.all((curve >= 0.0) & (curve <= 1.0))
+
+    def test_non_binary_response_rejected(self):
+        with pytest.raises(ValueError):
+            PerformanceFactorModel().trace([3])

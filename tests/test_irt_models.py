@@ -1,0 +1,132 @@
+"""Tests for the Rasch, learning-curve and difficulty models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.irt.difficulty import (
+    accuracy_from_difficulty,
+    difficulty_from_accuracy,
+    prior_domain_difficulties,
+)
+from repro.irt.learning_curve import LearningCurveModel, cumulative_learning_tasks
+from repro.irt.rasch import RaschModel, logit, sigmoid
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(0.0) == pytest.approx(0.5)
+
+    def test_extremes_do_not_overflow(self):
+        assert sigmoid(1000.0) == pytest.approx(1.0)
+        assert sigmoid(-1000.0) == pytest.approx(0.0)
+
+    def test_logit_is_inverse(self):
+        for p in [0.1, 0.5, 0.9]:
+            assert sigmoid(logit(p)) == pytest.approx(p, rel=1e-9)
+
+    def test_vectorised(self):
+        values = sigmoid(np.array([-1.0, 0.0, 1.0]))
+        assert values.shape == (3,)
+        assert np.all(np.diff(values) > 0)
+
+
+class TestRaschModel:
+    def test_probability_at_difficulty_is_half(self):
+        model = RaschModel(difficulty=1.2)
+        assert model.probability(1.2) == pytest.approx(0.5)
+
+    def test_probability_monotone_in_proficiency(self):
+        model = RaschModel(difficulty=0.0)
+        proficiencies = np.linspace(-3, 3, 13)
+        probabilities = model.probability(proficiencies)
+        assert np.all(np.diff(probabilities) > 0)
+
+    def test_log_likelihood_maximised_at_mle(self):
+        model = RaschModel(difficulty=0.5)
+        responses = [1, 1, 1, 0]
+        mle = model.fit_proficiency(responses)
+        for candidate in [mle - 0.5, mle + 0.5]:
+            assert model.log_likelihood(mle, responses) >= model.log_likelihood(candidate, responses)
+
+    def test_fit_proficiency_closed_form(self):
+        model = RaschModel(difficulty=0.2)
+        responses = [1, 1, 1, 0]  # accuracy 0.75
+        assert model.fit_proficiency(responses) == pytest.approx(0.2 + logit(0.75), rel=1e-6)
+
+    def test_fit_all_correct_is_finite(self):
+        model = RaschModel(difficulty=0.0)
+        assert np.isfinite(model.fit_proficiency([1, 1, 1, 1]))
+
+    def test_empty_responses(self):
+        model = RaschModel(difficulty=0.7)
+        assert model.fit_proficiency([]) == pytest.approx(0.7)
+        assert model.log_likelihood(1.0, []) == 0.0
+
+    def test_non_binary_responses_rejected(self):
+        with pytest.raises(ValueError):
+            RaschModel(0.0).log_likelihood(0.0, [0, 2, 1])
+
+
+class TestLearningCurve:
+    def test_zero_exposure_matches_difficulty(self):
+        model = LearningCurveModel(learning_rate=0.5, difficulty=0.0)
+        assert model.probability(0.0) == pytest.approx(0.5)
+
+    def test_monotone_in_exposure_for_positive_rate(self):
+        model = LearningCurveModel(learning_rate=0.4, difficulty=0.3)
+        trajectory = model.probability_trajectory([0, 1, 5, 20, 100])
+        assert np.all(np.diff(trajectory) > 0)
+
+    def test_zero_rate_is_flat(self):
+        model = LearningCurveModel(learning_rate=0.0, difficulty=0.4)
+        trajectory = model.probability_trajectory([0, 10, 100])
+        assert np.allclose(trajectory, trajectory[0])
+
+    def test_negative_exposure_rejected(self):
+        with pytest.raises(ValueError):
+            LearningCurveModel(0.2, 0.0).probability(-1.0)
+
+    def test_exposure_for_accuracy_inverts_probability(self):
+        model = LearningCurveModel(learning_rate=0.3, difficulty=0.0)
+        exposure = model.exposure_for_accuracy(0.8)
+        assert model.probability(exposure) == pytest.approx(0.8, rel=1e-6)
+
+    def test_exposure_for_unreachable_accuracy(self):
+        model = LearningCurveModel(learning_rate=0.0, difficulty=0.0)
+        assert model.exposure_for_accuracy(0.9) == float("inf")
+
+    def test_cumulative_learning_tasks_geometric(self):
+        # K_j = (2^j - 1) * t / |W|
+        assert cumulative_learning_tasks(0, 100, 20) == 0.0
+        assert cumulative_learning_tasks(1, 100, 20) == pytest.approx(5.0)
+        assert cumulative_learning_tasks(2, 100, 20) == pytest.approx(15.0)
+        assert cumulative_learning_tasks(3, 100, 20) == pytest.approx(35.0)
+
+    def test_cumulative_learning_tasks_validation(self):
+        with pytest.raises(ValueError):
+            cumulative_learning_tasks(-1, 100, 20)
+        with pytest.raises(ValueError):
+            cumulative_learning_tasks(1, 100, 0)
+
+
+class TestDifficulty:
+    def test_round_trip(self):
+        for accuracy in [0.2, 0.5, 0.8]:
+            assert accuracy_from_difficulty(difficulty_from_accuracy(accuracy)) == pytest.approx(accuracy)
+
+    def test_half_accuracy_is_zero_difficulty(self):
+        assert difficulty_from_accuracy(0.5) == pytest.approx(0.0)
+
+    def test_harder_domains_have_larger_beta(self):
+        assert difficulty_from_accuracy(0.3) > difficulty_from_accuracy(0.7)
+
+    def test_vectorised(self):
+        betas = prior_domain_difficulties([0.7, 0.88, 0.58])
+        assert betas.shape == (3,)
+        assert betas[1] < betas[2]
+
+    def test_extreme_accuracy_clamped(self):
+        assert np.isfinite(difficulty_from_accuracy(1.0))
+        assert np.isfinite(difficulty_from_accuracy(0.0))

@@ -1,0 +1,159 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.elimination import elimination_trajectory, median_eliminate
+from repro.irt.difficulty import accuracy_from_difficulty, difficulty_from_accuracy
+from repro.irt.learning_curve import LearningCurveModel, cumulative_learning_tasks
+from repro.irt.rasch import logit, sigmoid
+from repro.platform.budget import compute_budget, default_total_budget, number_of_rounds
+from repro.stats.correlation import bucket_accuracies, pearson_correlation
+from repro.stats.mvn import MultivariateNormalModel, nearest_positive_definite
+from repro.stats.quadrature import unit_interval_rule
+from repro.stats.truncated import truncated_normal_mean
+
+accuracy_strategy = st.floats(min_value=0.01, max_value=0.99)
+positive_int = st.integers(min_value=1, max_value=500)
+
+
+class TestSigmoidProperties:
+    @given(st.floats(min_value=-50, max_value=50))
+    def test_sigmoid_in_unit_interval(self, x):
+        assert 0.0 <= sigmoid(x) <= 1.0
+
+    @given(accuracy_strategy)
+    def test_logit_sigmoid_round_trip(self, p):
+        assert sigmoid(logit(p)) == pytest.approx(p, rel=1e-6)
+
+    @given(st.floats(min_value=-20, max_value=20), st.floats(min_value=0.0, max_value=5.0))
+    def test_sigmoid_monotone(self, x, delta):
+        assert sigmoid(x + delta) >= sigmoid(x)
+
+
+class TestDifficultyProperties:
+    @given(accuracy_strategy)
+    def test_difficulty_round_trip(self, accuracy):
+        assert accuracy_from_difficulty(difficulty_from_accuracy(accuracy)) == pytest.approx(accuracy, rel=1e-6)
+
+    @given(accuracy_strategy, accuracy_strategy)
+    def test_difficulty_anti_monotone(self, a, b):
+        if a < b:
+            assert difficulty_from_accuracy(a) >= difficulty_from_accuracy(b)
+
+
+class TestLearningCurveProperties:
+    @given(st.floats(min_value=0.0, max_value=3.0), st.floats(min_value=-3.0, max_value=3.0),
+           st.floats(min_value=0.0, max_value=1000.0), st.floats(min_value=0.0, max_value=1000.0))
+    def test_monotone_in_exposure(self, alpha, beta, e1, e2):
+        model = LearningCurveModel(learning_rate=alpha, difficulty=beta)
+        low, high = sorted([e1, e2])
+        assert model.probability(high) >= model.probability(low) - 1e-12
+
+    @given(st.floats(min_value=-3.0, max_value=3.0), st.floats(min_value=0.0, max_value=1000.0))
+    def test_probability_in_unit_interval(self, beta, exposure):
+        model = LearningCurveModel(learning_rate=0.5, difficulty=beta)
+        assert 0.0 <= model.probability(exposure) <= 1.0
+
+    @given(st.integers(min_value=0, max_value=12), positive_int, positive_int)
+    def test_cumulative_tasks_non_negative_and_monotone(self, round_index, budget, pool):
+        current = cumulative_learning_tasks(round_index, budget, pool)
+        nxt = cumulative_learning_tasks(round_index + 1, budget, pool)
+        assert current >= 0
+        assert nxt >= current
+
+
+class TestEliminationProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=60))
+    def test_survivor_count_is_ceil_half(self, estimates):
+        worker_ids = [f"w{i}" for i in range(len(estimates))]
+        survivors = median_eliminate(worker_ids, estimates)
+        assert len(survivors) == math.ceil(len(estimates) / 2)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=60))
+    def test_survivors_dominate_eliminated(self, estimates):
+        worker_ids = [f"w{i}" for i in range(len(estimates))]
+        survivors = set(median_eliminate(worker_ids, estimates))
+        eliminated = set(worker_ids) - survivors
+        if eliminated:
+            worst_survivor = min(estimates[worker_ids.index(w)] for w in survivors)
+            best_eliminated = max(estimates[worker_ids.index(w)] for w in eliminated)
+            assert worst_survivor >= best_eliminated - 1e-12
+
+    @given(st.integers(min_value=1, max_value=500), st.integers(min_value=1, max_value=100))
+    def test_elimination_trajectory_terminates_at_k_or_below(self, pool, k):
+        sizes = elimination_trajectory(pool, k)
+        assert sizes[0] == pool
+        assert sizes[-1] <= max(k, 1)
+        assert all(b <= a for a, b in zip(sizes, sizes[1:]))
+
+
+class TestBudgetProperties:
+    @given(st.integers(min_value=1, max_value=500), st.integers(min_value=1, max_value=100),
+           st.integers(min_value=1, max_value=50))
+    def test_schedule_never_overspends(self, pool, k, q):
+        k = min(k, pool)
+        budget = default_total_budget(pool, k, q)
+        schedule = compute_budget(pool, k, budget)
+        assert schedule.spent_budget() <= budget
+        assert schedule.full_training_exposure >= 0
+
+    @given(st.integers(min_value=1, max_value=500), st.integers(min_value=1, max_value=100))
+    def test_rounds_sufficient_to_reach_k(self, pool, k):
+        k = min(k, pool)
+        n = number_of_rounds(pool, k)
+        assert math.ceil(pool / (2**n)) <= max(k, 1)
+
+
+class TestStatsProperties:
+    @given(st.lists(accuracy_strategy, min_size=2, max_size=50))
+    def test_pearson_bounded(self, values):
+        other = [v * 0.5 + 0.1 for v in values]
+        correlation = pearson_correlation(values, other)
+        assert -1.0 - 1e-9 <= correlation <= 1.0 + 1e-9
+
+    @given(st.lists(accuracy_strategy, min_size=1, max_size=100), st.integers(min_value=1, max_value=20))
+    def test_bucket_histogram_normalised(self, values, buckets):
+        histogram = bucket_accuracies(values, n_buckets=buckets)
+        assert histogram.sum() == pytest.approx(1.0)
+        assert np.all(histogram >= 0)
+
+    @given(st.floats(min_value=-2.0, max_value=3.0), st.floats(min_value=0.01, max_value=1.0))
+    def test_truncated_mean_within_bounds(self, mean, std):
+        value = truncated_normal_mean(mean, std, 0.0, 1.0)
+        assert 0.0 <= value <= 1.0
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=2, max_value=5), st.integers(min_value=0, max_value=10_000))
+    def test_random_correlation_matrices_become_valid(self, dimension, seed):
+        rng = np.random.default_rng(seed)
+        rho = np.eye(dimension)
+        upper = np.triu_indices(dimension, k=1)
+        rho[upper] = rng.uniform(-1, 1, size=len(upper[0]))
+        rho = rho + rho.T - np.eye(dimension)
+        sigma = rng.uniform(0.05, 0.4, size=dimension)
+        model = MultivariateNormalModel(mean=np.full(dimension, 0.5), sigma=sigma, rho=rho)
+        # The constructed covariance must be usable by a Cholesky factorisation.
+        np.linalg.cholesky(model.covariance + 1e-9 * np.eye(dimension))
+        np.testing.assert_allclose(model.sigma, sigma)
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=2, max_value=6), st.integers(min_value=0, max_value=10_000))
+    def test_nearest_positive_definite_is_positive(self, dimension, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.normal(size=(dimension, dimension))
+        matrix = 0.5 * (matrix + matrix.T)
+        projected = nearest_positive_definite(matrix)
+        assert np.linalg.eigvalsh(projected).min() > 0
+
+    @given(st.integers(min_value=2, max_value=64))
+    def test_quadrature_weights_positive_and_sum_to_one(self, nodes):
+        rule = unit_interval_rule(nodes)
+        assert np.all(rule.weights > 0)
+        assert rule.weights.sum() == pytest.approx(1.0)

@@ -1,0 +1,95 @@
+"""Tests for correlation and bootstrap utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats.correlation import (
+    bootstrap_mean_ci,
+    bucket_accuracies,
+    bucketed_pearson,
+    pearson_correlation,
+)
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson_correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=200)
+        y = 0.5 * x + rng.normal(size=200)
+        assert pearson_correlation(x, y) == pytest.approx(np.corrcoef(x, y)[0, 1], rel=1e-10)
+
+    def test_constant_input_returns_zero(self):
+        assert pearson_correlation([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1, 2], [1, 2, 3])
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1], [2])
+
+
+class TestBuckets:
+    def test_counts_sum_to_one_when_normalised(self):
+        histogram = bucket_accuracies([0.1, 0.2, 0.9], n_buckets=10)
+        assert histogram.sum() == pytest.approx(1.0)
+
+    def test_unnormalised_counts(self):
+        histogram = bucket_accuracies([0.05, 0.15, 0.15], n_buckets=10, normalise=False)
+        assert histogram.sum() == pytest.approx(3.0)
+
+    def test_bucket_placement(self):
+        histogram = bucket_accuracies([0.05, 0.95], n_buckets=10, normalise=False)
+        assert histogram[0] == 1
+        assert histogram[-1] == 1
+
+    def test_invalid_bucket_count(self):
+        with pytest.raises(ValueError):
+            bucket_accuracies([0.5], n_buckets=0)
+
+    def test_bucketed_pearson_identical_distributions(self):
+        rng = np.random.default_rng(1)
+        values = rng.uniform(size=500)
+        assert bucketed_pearson(values, values) == pytest.approx(1.0)
+
+    def test_bucketed_pearson_similar_distributions_high(self):
+        rng = np.random.default_rng(2)
+        a = np.clip(rng.normal(0.55, 0.17, size=400), 0, 1)
+        b = np.clip(rng.normal(0.52, 0.18, size=400), 0, 1)
+        assert bucketed_pearson(a, b) > 0.75
+
+
+class TestBootstrap:
+    def test_mean_returned(self):
+        mean, lower, upper = bootstrap_mean_ci([1.0, 2.0, 3.0], n_resamples=200, rng=0)
+        assert mean == pytest.approx(2.0)
+        assert lower <= mean <= upper
+
+    def test_single_value(self):
+        mean, lower, upper = bootstrap_mean_ci([5.0], rng=0)
+        assert mean == lower == upper == 5.0
+
+    def test_interval_narrows_with_more_data(self):
+        rng = np.random.default_rng(3)
+        small = rng.normal(size=10)
+        large = rng.normal(size=1000)
+        _, lo_s, hi_s = bootstrap_mean_ci(small, n_resamples=300, rng=1)
+        _, lo_l, hi_l = bootstrap_mean_ci(large, n_resamples=300, rng=1)
+        assert (hi_l - lo_l) < (hi_s - lo_s)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([])
+
+    def test_invalid_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1.0, 2.0], confidence=1.5)

@@ -1,0 +1,152 @@
+"""Tests for the multivariate normal model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.stats.mvn import (
+    MultivariateNormalModel,
+    correlation_from_covariance,
+    nearest_positive_definite,
+)
+
+
+def example_model() -> MultivariateNormalModel:
+    rho = np.array([[1.0, 0.5, 0.3], [0.5, 1.0, 0.2], [0.3, 0.2, 1.0]])
+    return MultivariateNormalModel(mean=np.array([0.7, 0.6, 0.5]), sigma=np.array([0.2, 0.15, 0.1]), rho=rho)
+
+
+class TestConstruction:
+    def test_covariance_round_trip(self):
+        model = example_model()
+        rebuilt = MultivariateNormalModel.from_covariance(model.mean, model.covariance)
+        np.testing.assert_allclose(rebuilt.covariance, model.covariance, atol=1e-8)
+
+    def test_from_moments_defaults_to_identity_correlation(self):
+        model = MultivariateNormalModel.from_moments([0.5, 0.5], [0.1, 0.2])
+        np.testing.assert_allclose(model.rho, np.eye(2))
+
+    def test_dimension(self):
+        assert example_model().dimension == 3
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            MultivariateNormalModel(mean=np.array([0.5, 0.5]), sigma=np.array([0.1]), rho=np.eye(2))
+
+    def test_sigma_floor_applied(self):
+        model = MultivariateNormalModel(mean=np.zeros(2), sigma=np.array([0.0, 0.1]), rho=np.eye(2))
+        assert model.sigma[0] > 0
+
+    def test_invalid_correlation_projected(self):
+        # An inconsistent correlation matrix gets projected to a valid one
+        # without touching the standard deviations.
+        rho = np.array([[1.0, 0.95, -0.95], [0.95, 1.0, 0.95], [-0.95, 0.95, 1.0]])
+        model = MultivariateNormalModel(mean=np.zeros(3), sigma=np.array([0.2, 0.2, 0.2]), rho=rho)
+        np.testing.assert_allclose(model.sigma, [0.2, 0.2, 0.2])
+        np.linalg.cholesky(model.covariance + 1e-10 * np.eye(3))
+
+    def test_marginal(self):
+        model = example_model()
+        marginal = model.marginal([0, 2])
+        assert marginal.dimension == 2
+        np.testing.assert_allclose(marginal.mean, model.mean[[0, 2]])
+        assert marginal.rho[0, 1] == pytest.approx(model.rho[0, 2])
+
+
+class TestConditional:
+    def test_matches_closed_form_bivariate(self):
+        model = MultivariateNormalModel(
+            mean=np.array([0.6, 0.5]),
+            sigma=np.array([0.2, 0.1]),
+            rho=np.array([[1.0, 0.8], [0.8, 1.0]]),
+        )
+        observed = 0.8
+        mean, var = model.conditional(np.array([observed]), [0], 1)
+        expected_mean = 0.5 + 0.8 * (0.1 / 0.2) * (observed - 0.6)
+        expected_var = (0.1**2) * (1 - 0.8**2)
+        assert mean == pytest.approx(expected_mean, rel=1e-5)
+        assert var == pytest.approx(expected_var, rel=1e-3)
+
+    def test_no_observation_returns_marginal(self):
+        model = example_model()
+        mean, var = model.conditional(np.array([]), [], 2)
+        assert mean == pytest.approx(model.mean[2])
+        assert var == pytest.approx(model.covariance[2, 2])
+
+    def test_batch_matches_single(self):
+        model = example_model()
+        observations = np.array([[0.75, 0.55], [0.6, 0.7]])
+        batch_means, batch_var = model.conditional_batch(observations, [0, 1], 2)
+        for row in range(2):
+            mean, var = model.conditional(observations[row], [0, 1], 2)
+            assert batch_means[row] == pytest.approx(mean)
+            assert batch_var == pytest.approx(var)
+
+    def test_target_in_observed_rejected(self):
+        with pytest.raises(ValueError):
+            example_model().conditional(np.array([0.5]), [1], 1)
+
+    def test_conditional_variance_reduces_uncertainty(self):
+        model = example_model()
+        _, conditional_var = model.conditional(np.array([0.7, 0.6]), [0, 1], 2)
+        assert conditional_var <= model.covariance[2, 2] + 1e-12
+
+
+class TestDensityAndSampling:
+    def test_log_pdf_matches_scipy(self):
+        model = example_model()
+        points = np.array([[0.7, 0.6, 0.5], [0.5, 0.5, 0.4]])
+        expected = sps.multivariate_normal(model.mean, model.covariance).logpdf(points)
+        np.testing.assert_allclose(model.log_pdf(points), expected, rtol=1e-6)
+
+    def test_sampling_moments(self):
+        model = example_model()
+        samples = model.sample(20000, np.random.default_rng(0))
+        np.testing.assert_allclose(samples.mean(axis=0), model.mean, atol=0.01)
+        np.testing.assert_allclose(samples.std(axis=0), model.sigma, atol=0.01)
+
+
+class TestParameterVector:
+    def test_pack_unpack_round_trip(self):
+        model = example_model()
+        packed = model.pack_parameters()
+        rebuilt = MultivariateNormalModel.unpack_parameters(packed, model.dimension)
+        np.testing.assert_allclose(rebuilt.mean, model.mean)
+        np.testing.assert_allclose(rebuilt.sigma, model.sigma)
+        np.testing.assert_allclose(rebuilt.rho, model.rho, atol=1e-9)
+
+    def test_parameter_slices_cover_vector(self):
+        model = example_model()
+        mean_s, sigma_s, rho_s = MultivariateNormalModel.parameter_slices(model.dimension)
+        packed = model.pack_parameters()
+        assert rho_s.stop == packed.shape[0]
+        assert mean_s.stop == sigma_s.start
+
+    def test_unpack_clamps_extreme_correlations(self):
+        packed = example_model().pack_parameters()
+        packed[-1] = 5.0  # way out of range
+        rebuilt = MultivariateNormalModel.unpack_parameters(packed, 3)
+        assert abs(rebuilt.rho[1, 2]) < 1.0
+
+    def test_with_parameters(self):
+        model = example_model()
+        packed = model.pack_parameters()
+        packed[0] += 0.05
+        shifted = model.with_parameters(packed)
+        assert shifted.mean[0] == pytest.approx(model.mean[0] + 0.05)
+
+
+class TestHelpers:
+    def test_nearest_positive_definite_is_pd(self):
+        matrix = np.array([[1.0, 2.0], [2.0, 1.0]])  # indefinite
+        projected = nearest_positive_definite(matrix)
+        eigenvalues = np.linalg.eigvalsh(projected)
+        assert np.all(eigenvalues > 0)
+
+    def test_correlation_from_covariance(self):
+        model = example_model()
+        sigma, rho = correlation_from_covariance(model.covariance)
+        np.testing.assert_allclose(sigma, model.sigma, rtol=1e-8)
+        np.testing.assert_allclose(np.diag(rho), np.ones(3))

@@ -1,0 +1,123 @@
+"""Tests for the optimisation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats.optimize import (
+    finite_difference_gradient,
+    gradient_descent,
+    minimize_scalar_bounded,
+)
+
+
+class TestFiniteDifferenceGradient:
+    def test_quadratic_gradient(self):
+        def objective(theta):
+            return float(np.sum(theta**2))
+
+        point = np.array([1.0, -2.0, 0.5])
+        gradient = finite_difference_gradient(objective, point)
+        np.testing.assert_allclose(gradient, 2 * point, rtol=1e-4)
+
+    def test_mask_freezes_coordinates(self):
+        def objective(theta):
+            return float(np.sum(theta**2))
+
+        gradient = finite_difference_gradient(objective, np.array([1.0, 1.0]), mask=np.array([True, False]))
+        assert gradient[1] == 0.0
+        assert gradient[0] != 0.0
+
+
+class TestGradientDescent:
+    def test_converges_on_quadratic(self):
+        result = gradient_descent(
+            objective=lambda t: float(np.sum((t - 3.0) ** 2)),
+            initial=np.zeros(2),
+            learning_rates=0.1,
+            n_epochs=200,
+        )
+        np.testing.assert_allclose(result.parameters, [3.0, 3.0], atol=1e-2)
+        assert result.objective < 1e-3
+
+    def test_objective_history_is_monotone_with_backtracking(self):
+        result = gradient_descent(
+            objective=lambda t: float(np.sum(t**4 - 2 * t**2)),
+            initial=np.array([2.0]),
+            learning_rates=0.5,  # intentionally too large; backtracking must rescue it
+            n_epochs=50,
+        )
+        history = np.array(result.objective_history)
+        assert np.all(np.diff(history) <= 1e-12)
+
+    def test_projection_applied(self):
+        result = gradient_descent(
+            objective=lambda t: float(np.sum((t - 5.0) ** 2)),
+            initial=np.zeros(1),
+            learning_rates=0.5,
+            n_epochs=100,
+            project=lambda t: np.clip(t, 0.0, 1.0),
+        )
+        assert result.parameters[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_per_coordinate_learning_rates(self):
+        result = gradient_descent(
+            objective=lambda t: float(np.sum((t - 1.0) ** 2)),
+            initial=np.zeros(2),
+            learning_rates=np.array([0.2, 0.0]),
+            n_epochs=100,
+        )
+        assert result.parameters[0] == pytest.approx(1.0, abs=1e-3)
+        assert result.parameters[1] == pytest.approx(0.0)
+
+    def test_rate_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            gradient_descent(lambda t: float(t @ t), np.zeros(3), np.zeros(2), 5)
+
+    def test_custom_gradient_used(self):
+        calls = []
+
+        def gradient(theta):
+            calls.append(1)
+            return 2 * (theta - 1.0)
+
+        result = gradient_descent(
+            objective=lambda t: float(np.sum((t - 1.0) ** 2)),
+            initial=np.zeros(1),
+            learning_rates=0.3,
+            n_epochs=60,
+            gradient=gradient,
+        )
+        assert calls
+        assert result.parameters[0] == pytest.approx(1.0, abs=1e-3)
+
+    def test_non_finite_gradient_stops_cleanly(self):
+        result = gradient_descent(
+            objective=lambda t: float(np.sum(t**2)),
+            initial=np.array([1.0]),
+            learning_rates=0.1,
+            n_epochs=10,
+            gradient=lambda t: np.array([np.nan]),
+        )
+        np.testing.assert_allclose(result.parameters, [1.0])
+
+
+class TestMinimizeScalarBounded:
+    def test_simple_parabola(self):
+        assert minimize_scalar_bounded(lambda x: (x - 0.3) ** 2, 0.0, 1.0) == pytest.approx(0.3, abs=1e-3)
+
+    def test_boundary_minimum(self):
+        assert minimize_scalar_bounded(lambda x: x, 0.0, 1.0) == pytest.approx(0.0, abs=1e-3)
+
+    def test_multi_modal_finds_global(self):
+        def objective(x):
+            return np.sin(10 * x) + 0.5 * (x - 0.8) ** 2
+
+        result = minimize_scalar_bounded(objective, 0.0, 2.0, n_grid=60)
+        values = [objective(x) for x in np.linspace(0, 2, 2000)]
+        assert objective(result) <= min(values) + 1e-2
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            minimize_scalar_bounded(lambda x: x, 1.0, 0.0)

@@ -1,0 +1,70 @@
+"""Tests for the Gauss--Legendre quadrature rules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+from scipy.special import beta as beta_function
+
+from repro.stats.quadrature import GaussLegendreRule, unit_interval_rule
+
+
+class TestRuleConstruction:
+    def test_weights_sum_to_interval_length(self):
+        rule = unit_interval_rule(32)
+        assert rule.weights.sum() == pytest.approx(1.0, rel=1e-12)
+
+    def test_nodes_inside_interval(self):
+        rule = unit_interval_rule(16)
+        assert rule.nodes.min() > 0.0
+        assert rule.nodes.max() < 1.0
+
+    def test_custom_interval(self):
+        rule = unit_interval_rule(16, lower=-1.0, upper=3.0)
+        assert rule.weights.sum() == pytest.approx(4.0, rel=1e-12)
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            unit_interval_rule(1)
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            unit_interval_rule(8, lower=1.0, upper=0.0)
+
+    def test_rule_is_cached(self):
+        a = unit_interval_rule(64)
+        b = unit_interval_rule(64)
+        np.testing.assert_allclose(a.nodes, b.nodes)
+
+
+class TestIntegration:
+    def test_polynomial_exact(self):
+        rule = unit_interval_rule(8)
+        # integral of x^3 over [0,1] = 1/4, exactly integrable by Gauss-Legendre.
+        assert rule.integrate_function(lambda x: x**3) == pytest.approx(0.25, rel=1e-12)
+
+    def test_beta_kernel(self):
+        rule = unit_interval_rule(64)
+        c, x = 7, 3
+        value = rule.integrate_function(lambda h: h**c * (1 - h) ** x)
+        assert value == pytest.approx(beta_function(c + 1, x + 1), rel=1e-10)
+
+    def test_beta_times_gaussian_matches_scipy_quad(self):
+        from scipy.integrate import quad
+
+        rule = unit_interval_rule(64)
+        c, x = 12, 8
+        pdf = sps.norm(0.55, 0.15).pdf
+
+        def integrand(h):
+            return h**c * (1 - h) ** x * pdf(h)
+
+        expected, _ = quad(integrand, 0, 1)
+        assert rule.integrate_function(integrand) == pytest.approx(expected, rel=1e-8)
+
+    def test_batched_integration(self):
+        rule = unit_interval_rule(32)
+        values = np.vstack([rule.nodes**2, rule.nodes**3])
+        result = rule.integrate(values)
+        np.testing.assert_allclose(result, [1 / 3, 1 / 4], rtol=1e-10)

@@ -1,0 +1,98 @@
+"""Tests for truncated-normal sampling and moments."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.stats.mvn import MultivariateNormalModel
+from repro.stats.truncated import (
+    sample_truncated_mvn,
+    sample_truncated_normal,
+    truncated_normal_mean,
+    truncated_normal_variance,
+)
+
+
+class TestUnivariateSampling:
+    def test_samples_respect_bounds(self):
+        samples = sample_truncated_normal(0.5, 0.3, 0.0, 1.0, size=5000, rng=0)
+        assert samples.min() >= 0.0
+        assert samples.max() <= 1.0
+
+    def test_matches_scipy_truncnorm_mean(self):
+        samples = sample_truncated_normal(0.7, 0.2, 0.0, 1.0, size=40000, rng=1)
+        a, b = (0.0 - 0.7) / 0.2, (1.0 - 0.7) / 0.2
+        expected = sps.truncnorm(a, b, loc=0.7, scale=0.2).mean()
+        assert samples.mean() == pytest.approx(expected, abs=5e-3)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            sample_truncated_normal(0.5, 0.1, 1.0, 0.0, size=10)
+
+    def test_invalid_std_rejected(self):
+        with pytest.raises(ValueError):
+            sample_truncated_normal(0.5, 0.0, 0.0, 1.0, size=10)
+
+    def test_degenerate_window_falls_back_to_clipping(self):
+        samples = sample_truncated_normal(50.0, 0.1, 0.0, 1.0, size=100, rng=2)
+        assert np.all((samples >= 0.0) & (samples <= 1.0))
+
+
+class TestTruncatedMoments:
+    def test_mean_matches_scipy(self):
+        a, b = (0.0 - 0.6) / 0.25, (1.0 - 0.6) / 0.25
+        expected = sps.truncnorm(a, b, loc=0.6, scale=0.25).mean()
+        assert truncated_normal_mean(0.6, 0.25, 0.0, 1.0) == pytest.approx(expected, rel=1e-6)
+
+    def test_variance_matches_scipy(self):
+        a, b = (0.0 - 0.6) / 0.25, (1.0 - 0.6) / 0.25
+        expected = sps.truncnorm(a, b, loc=0.6, scale=0.25).var()
+        assert truncated_normal_variance(0.6, 0.25, 0.0, 1.0) == pytest.approx(expected, rel=1e-5)
+
+    def test_mean_inside_bounds(self):
+        assert 0.0 <= truncated_normal_mean(-2.0, 0.5, 0.0, 1.0) <= 1.0
+        assert 0.0 <= truncated_normal_mean(3.0, 0.5, 0.0, 1.0) <= 1.0
+
+    def test_zero_std_clips_mean(self):
+        assert truncated_normal_mean(1.7, 0.0, 0.0, 1.0) == pytest.approx(1.0)
+
+    def test_symmetric_case_is_midpoint(self):
+        assert truncated_normal_mean(0.5, 0.2, 0.0, 1.0) == pytest.approx(0.5, abs=1e-9)
+
+
+class TestMultivariateSampling:
+    def model(self) -> MultivariateNormalModel:
+        return MultivariateNormalModel.from_moments(
+            [0.6, 0.5], [0.2, 0.2], np.array([[1.0, 0.6], [0.6, 1.0]])
+        )
+
+    def test_shape_and_bounds(self):
+        samples = sample_truncated_mvn(self.model(), size=500, rng=0)
+        assert samples.shape == (500, 2)
+        assert samples.min() > 0.0
+        assert samples.max() < 1.0
+
+    def test_zero_size(self):
+        samples = sample_truncated_mvn(self.model(), size=0, rng=0)
+        assert samples.shape == (0, 2)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            sample_truncated_mvn(self.model(), size=-1, rng=0)
+
+    def test_correlation_roughly_preserved(self):
+        samples = sample_truncated_mvn(self.model(), size=6000, rng=3)
+        correlation = np.corrcoef(samples[:, 0], samples[:, 1])[0, 1]
+        assert correlation > 0.35
+
+    def test_deterministic_given_seed(self):
+        a = sample_truncated_mvn(self.model(), size=50, rng=9)
+        b = sample_truncated_mvn(self.model(), size=50, rng=9)
+        np.testing.assert_allclose(a, b)
+
+    def test_extreme_mean_falls_back_to_clipping(self):
+        model = MultivariateNormalModel.from_moments([5.0, 5.0], [0.1, 0.1])
+        samples = sample_truncated_mvn(model, size=20, rng=0, max_rejection_rounds=2)
+        assert np.all((samples > 0.0) & (samples < 1.0))
