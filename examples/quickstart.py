@@ -1,9 +1,13 @@
 """Quickstart: select the best crowd workers for a new annotation domain.
 
-Loads the S-1 synthetic dataset (40 workers, three prior domains, one target
-domain), runs the paper's cross-domain-aware selection pipeline next to the
-Uniform Sampling and Median Elimination baselines under the same budget, and
-reports the working-task accuracy of each method's selected workers.
+Walks the package's public surface top-down:
+
+1. the :class:`repro.Campaign` facade — one annotation campaign, run either
+   one-shot or streamed round by round, with a JSON-serialisable checkpoint
+   taken (and resumed) mid-run;
+2. the selector registry — every strategy is string-addressable, so
+   comparing methods is a loop over names, and custom strategies plug in
+   with one decorator.
 
 Run with::
 
@@ -12,36 +16,47 @@ Run with::
 
 from __future__ import annotations
 
-from repro import (
-    MedianEliminationSelector,
-    OursSelector,
-    UniformSamplingSelector,
-    load_dataset,
-)
-from repro.evaluation.metrics import precision_at_k, selection_accuracy
+from repro import Campaign
+
+COMPARED_SELECTORS = ["us", "me", "ours"]
 
 
 def main() -> None:
-    dataset = load_dataset("S-1", seed=0)
-    print(f"Dataset {dataset.name}: {len(dataset.pool)} workers, "
-          f"budget B={dataset.schedule.total_budget}, "
-          f"{dataset.schedule.n_rounds} elimination rounds, k={dataset.schedule.k}")
-    print(f"Ground-truth top-{dataset.schedule.k} mean accuracy: "
-          f"{dataset.ground_truth_mean_accuracy():.3f}\n")
+    # --- One campaign, streamed round by round, checkpointed mid-run. --- #
+    campaign = Campaign(dataset="S-1", selector="ours", k=5, seed=0)
+    print(
+        f"Campaign on {campaign.dataset_name}: select k={campaign.k} workers "
+        f"over {campaign.n_rounds} elimination rounds"
+    )
 
-    selectors = [
-        UniformSamplingSelector(),
-        MedianEliminationSelector(rng=0),
-        OursSelector(rng=0),
-    ]
-    for selector in selectors:
-        environment = dataset.environment(run_seed=0)
-        result = selector.select(environment)
-        accuracy = selection_accuracy(environment, result)
-        precision = precision_at_k(environment, result)
-        print(f"{selector.name:8s} selected {len(result.selected_worker_ids)} workers | "
-              f"working-task accuracy {accuracy:.3f} | overlap with true top-k {precision:.0%} | "
-              f"budget used {result.spent_budget}")
+    state = None
+    for event in campaign.steps():
+        print(
+            f"  round {event.round_index}/{event.n_rounds}: "
+            f"{len(event.worker_ids)} -> {len(event.survivors)} workers, "
+            f"budget spent {event.spent_budget}/{event.spent_budget + event.remaining_budget}"
+        )
+        if event.round_index == 1:
+            state = campaign.state_dict()  # JSON-serialisable checkpoint
+
+    report = campaign.report()
+    print(f"selected: {', '.join(report.selected_worker_ids)}")
+    print(f"mean working-task accuracy {report.mean_accuracy:.3f} "
+          f"(ground-truth top-{report.k}: {report.ground_truth_accuracy:.3f})\n")
+
+    # --- Resume from the round-1 checkpoint: same final selection. --- #
+    resumed = Campaign.from_state_dict(state)
+    assert resumed.run().selected_worker_ids == report.selected_worker_ids
+    print("checkpoint after round 1 resumed to the identical selection\n")
+
+    # --- Compare registered strategies under the same budget. --- #
+    print(f"{'method':8s} {'accuracy':>9s} {'top-k overlap':>14s} {'budget':>7s}")
+    for selector_name in COMPARED_SELECTORS:
+        result = Campaign(dataset="S-1", selector=selector_name, k=5, seed=0).run()
+        print(
+            f"{selector_name:8s} {result.mean_accuracy:9.3f} "
+            f"{result.precision_at_k:14.0%} {result.spent_budget:7d}"
+        )
 
     print("\nThe proposed method ('ours') combines the workers' historical cross-domain")
     print("profiles (CPE) with per-worker learning curves fitted during training (LGE),")

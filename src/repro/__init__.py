@@ -10,6 +10,27 @@ evaluation section.
 
 Quickstart
 ----------
+The :class:`~repro.campaign.Campaign` facade runs one annotation campaign —
+dataset, selector and budget protocol — end to end:
+
+>>> from repro import Campaign
+>>> report = Campaign(dataset="S-1", selector="ours", k=5, seed=0).run()
+>>> len(report.selected_worker_ids)
+5
+>>> 0.0 <= report.mean_accuracy <= 1.0
+True
+
+Every selection strategy is string-addressable through the selector
+registry (``repro.selector_names()`` lists them), and new strategies plug
+in with the ``@register_selector`` decorator:
+
+>>> from repro import make_selector
+>>> make_selector("me", seed=7).name
+'me'
+
+The lower-level objects (datasets, environments, selector classes) remain
+available for harness-style use:
+
 >>> from repro import load_dataset, OursSelector
 >>> dataset = load_dataset("S-1", seed=0)
 >>> environment = dataset.environment(run_seed=0)
@@ -28,6 +49,7 @@ from repro.baselines import (
     RandomSelector,
     UniformSamplingSelector,
 )
+from repro.campaign import Campaign, CampaignEvent, CampaignReport
 from repro.config import BENCHMARK_CONFIG, METHOD_LABELS, METHOD_ORDER, ExperimentConfig
 from repro.core import (
     CPEConfig,
@@ -36,17 +58,32 @@ from repro.core import (
     LGEConfig,
     LearningGainEstimator,
     SelectionResult,
+    SelectorRegistry,
+    make_selector,
     median_eliminate,
+    register_selector,
+    selector_exists,
+    selector_names,
 )
 from repro.datasets import DATASET_NAMES, DatasetInstance, DatasetSpec, load_dataset
 from repro.evaluation import compare_selectors, evaluate_selector, ground_truth_accuracy
 from repro.platform import AnnotationEnvironment, BudgetSchedule, compute_budget
 from repro.workers import LearningWorker, StaticWorker, WorkerPool, WorkerProfile
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    # Campaign facade
+    "Campaign",
+    "CampaignEvent",
+    "CampaignReport",
+    # Selector registry
+    "SelectorRegistry",
+    "register_selector",
+    "make_selector",
+    "selector_names",
+    "selector_exists",
     # Core algorithm
     "CrossDomainWorkerSelector",
     "CrossDomainPerformanceEstimator",

@@ -10,7 +10,7 @@ paper's task type requires, and keep the implementation dependency-free.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 import numpy as np
 

@@ -16,8 +16,10 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.registry import register_selector
 from repro.core.selector import BaseWorkerSelector, SelectionResult, top_k_by_score
 from repro.platform.session import AnnotationEnvironment
+from repro.stats.rng import SeedLike
 
 _RIDGE = 1e-6  # tiny ridge term keeps the normal equations well-posed
 
@@ -86,6 +88,13 @@ class LiRegressionSelector(BaseWorkerSelector):
                 "tasks_per_worker": tasks_per_worker,
             },
         )
+
+
+@register_selector("li", aliases=("li-regression",))
+def _build_li_regression(seed: SeedLike = None) -> LiRegressionSelector:
+    """Li et al.: regress observed accuracy on historical profiles, rank by fit."""
+    del seed  # deterministic given the environment's answer stream
+    return LiRegressionSelector()
 
 
 __all__ = ["LiRegressionSelector", "fit_linear_regression", "predict_linear_regression"]

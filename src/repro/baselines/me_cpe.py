@@ -9,11 +9,17 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Generator, Optional
 
 from repro.core.cpe import CPEConfig
 from repro.core.lge import LGEConfig
-from repro.core.pipeline import CrossDomainWorkerSelector
+from repro.core.pipeline import (
+    CrossDomainWorkerSelector,
+    RoundDiagnostics,
+    build_cpe_config,
+    build_lge_config,
+)
+from repro.core.registry import register_selector
 from repro.core.selector import BaseWorkerSelector, SelectionResult
 from repro.platform.session import AnnotationEnvironment
 from repro.stats.rng import SeedLike
@@ -35,6 +41,11 @@ class MeCpeSelector(BaseWorkerSelector):
 
     def select(self, environment: AnnotationEnvironment, k: Optional[int] = None) -> SelectionResult:
         return self._inner.select(environment, k)
+
+    def stepwise(
+        self, environment: AnnotationEnvironment, k: Optional[int] = None
+    ) -> Generator[RoundDiagnostics, None, SelectionResult]:
+        return (yield from self._inner.stepwise(environment, k))
 
 
 class OursSelector(BaseWorkerSelector):
@@ -59,6 +70,41 @@ class OursSelector(BaseWorkerSelector):
 
     def select(self, environment: AnnotationEnvironment, k: Optional[int] = None) -> SelectionResult:
         return self._inner.select(environment, k)
+
+    def stepwise(
+        self, environment: AnnotationEnvironment, k: Optional[int] = None
+    ) -> Generator[RoundDiagnostics, None, SelectionResult]:
+        return (yield from self._inner.stepwise(environment, k))
+
+
+@register_selector("me-cpe", aliases=("mecpe",))
+def _build_me_cpe(
+    seed: SeedLike = None,
+    target_initial_accuracy: Optional[float] = None,
+    cpe_epochs: Optional[int] = None,
+    cpe_config: Optional[CPEConfig] = None,
+) -> MeCpeSelector:
+    """The ME-CPE ablation: cross-domain estimation without learning gains."""
+    return MeCpeSelector(
+        cpe_config=cpe_config or build_cpe_config(target_initial_accuracy, cpe_epochs),
+        rng=seed,
+    )
+
+
+@register_selector("ours", aliases=("cpe-lge",))
+def _build_ours(
+    seed: SeedLike = None,
+    target_initial_accuracy: Optional[float] = None,
+    cpe_epochs: Optional[int] = None,
+    cpe_config: Optional[CPEConfig] = None,
+    lge_config: Optional[LGEConfig] = None,
+) -> OursSelector:
+    """The paper's full method: CPE + LGE on budgeted Median Elimination."""
+    return OursSelector(
+        cpe_config=cpe_config or build_cpe_config(target_initial_accuracy, cpe_epochs),
+        lge_config=lge_config or build_lge_config(target_initial_accuracy),
+        rng=seed,
+    )
 
 
 __all__ = ["MeCpeSelector", "OursSelector"]

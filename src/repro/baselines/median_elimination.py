@@ -9,9 +9,10 @@ so the elimination mechanics are guaranteed to be identical.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Generator, Optional
 
-from repro.core.pipeline import CrossDomainWorkerSelector
+from repro.core.pipeline import CrossDomainWorkerSelector, RoundDiagnostics
+from repro.core.registry import register_selector
 from repro.core.selector import BaseWorkerSelector, SelectionResult
 from repro.platform.session import AnnotationEnvironment
 from repro.stats.rng import SeedLike
@@ -27,6 +28,17 @@ class MedianEliminationSelector(BaseWorkerSelector):
 
     def select(self, environment: AnnotationEnvironment, k: Optional[int] = None) -> SelectionResult:
         return self._inner.select(environment, k)
+
+    def stepwise(
+        self, environment: AnnotationEnvironment, k: Optional[int] = None
+    ) -> Generator[RoundDiagnostics, None, SelectionResult]:
+        return (yield from self._inner.stepwise(environment, k))
+
+
+@register_selector("me", aliases=("median-elimination",))
+def _build_median_elimination(seed: SeedLike = None) -> MedianEliminationSelector:
+    """Budgeted Median Elimination on observed per-round accuracy."""
+    return MedianEliminationSelector(rng=seed)
 
 
 __all__ = ["MedianEliminationSelector"]

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.core.registry import register_selector
 from repro.core.selector import BaseWorkerSelector, SelectionResult
 from repro.platform.session import AnnotationEnvironment
 from repro.stats.rng import SeedLike, as_generator
@@ -53,6 +54,19 @@ class OracleSelector(BaseWorkerSelector):
             spent_budget=environment.spent_budget,
             n_rounds=0,
         )
+
+
+@register_selector("random")
+def _build_random(seed: SeedLike = None) -> RandomSelector:
+    """Budget-free uniformly random selection (sanity-check lower bound)."""
+    return RandomSelector(rng=seed)
+
+
+@register_selector("oracle", aliases=("ground-truth",))
+def _build_oracle(seed: SeedLike = None) -> OracleSelector:
+    """Ground-truth top-k selection (the evaluation upper bound)."""
+    del seed  # the oracle is deterministic
+    return OracleSelector()
 
 
 __all__ = ["RandomSelector", "OracleSelector"]

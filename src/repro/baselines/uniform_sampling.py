@@ -11,8 +11,10 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.core.registry import register_selector
 from repro.core.selector import BaseWorkerSelector, SelectionResult, top_k_by_score
 from repro.platform.session import AnnotationEnvironment
+from repro.stats.rng import SeedLike
 
 
 class UniformSamplingSelector(BaseWorkerSelector):
@@ -37,6 +39,13 @@ class UniformSamplingSelector(BaseWorkerSelector):
             n_rounds=1,
             diagnostics={"tasks_per_worker": tasks_per_worker},
         )
+
+
+@register_selector("us", aliases=("uniform",))
+def _build_uniform_sampling(seed: SeedLike = None) -> UniformSamplingSelector:
+    """Uniform Sampling: spread the budget evenly, take the observed top-k."""
+    del seed  # deterministic given the environment's answer stream
+    return UniformSamplingSelector()
 
 
 __all__ = ["UniformSamplingSelector"]

@@ -1,7 +1,15 @@
-"""Command-line interface: regenerate any table or figure of the paper.
+"""Command-line interface: run one annotation campaign or regenerate paper artefacts.
 
 Examples
 --------
+Run a single campaign with the proposed method and print the selection as JSON::
+
+    repro-crowd run --dataset S-1 --selector ours --k 5 --json
+
+Stream per-round progress of a campaign::
+
+    repro-crowd run --dataset RW-1 --selector me-cpe --stream
+
 Run the main results table on the two real-world datasets with 3 repetitions::
 
     repro-crowd table5 --datasets RW-1 RW-2 --repetitions 3
@@ -18,24 +26,14 @@ Sweep the initial target accuracy (Figure 5) on S-1::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
+from repro.campaign import Campaign
 from repro.config import ExperimentConfig
+from repro.core.registry import selector_exists, selector_names
 from repro.datasets.registry import DATASET_NAMES
-from repro.experiments import (
-    format_table,
-    results_to_markdown,
-    run_correlation_recovery,
-    run_figure5,
-    run_figure6,
-    run_figure7,
-    run_runtime,
-    run_table2,
-    run_table4,
-    run_table5,
-    run_training_gain,
-)
 
 EXPERIMENTS = (
     "table2",
@@ -50,25 +48,91 @@ EXPERIMENTS = (
 )
 
 
+def _dataset_name(value: str) -> str:
+    """Argparse type: canonicalise a dataset name, rejecting typos at parse time."""
+    canonical = value.strip().upper()
+    if canonical not in DATASET_NAMES:
+        raise argparse.ArgumentTypeError(
+            f"unknown dataset {value!r}; choose from: {', '.join(DATASET_NAMES)}"
+        )
+    return canonical
+
+
+def _selector_name(value: str) -> str:
+    """Argparse type: validate a selector name against the registry."""
+    if not selector_exists(value):
+        raise argparse.ArgumentTypeError(
+            f"unknown selector {value!r}; registered selectors: {', '.join(selector_names())}"
+        )
+    return value.strip().lower()
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser for the ``repro-crowd`` entry point."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro-crowd",
-        description="Regenerate the tables and figures of the cross-domain worker-selection paper.",
+        description=(
+            "Cross-domain-aware worker selection: run annotation campaigns and "
+            "regenerate the paper's tables and figures."
+        ),
     )
-    parser.add_argument("experiment", choices=EXPERIMENTS, help="which artefact to regenerate")
-    parser.add_argument(
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    subparsers = parser.add_subparsers(dest="experiment", required=True, metavar="command")
+
+    artefact_options = argparse.ArgumentParser(add_help=False)
+    artefact_options.add_argument(
         "--datasets",
         nargs="+",
+        type=_dataset_name,
         default=None,
         metavar="NAME",
         help=f"datasets to include (default depends on the experiment); choices: {', '.join(DATASET_NAMES)}",
     )
-    parser.add_argument("--repetitions", type=int, default=3, help="repetitions per cell (default 3)")
-    parser.add_argument("--seed", type=int, default=7, help="base random seed (default 7)")
-    parser.add_argument(
+    artefact_options.add_argument(
+        "--repetitions", type=int, default=3, help="repetitions per cell (default 3)"
+    )
+    artefact_options.add_argument("--seed", type=int, default=7, help="base random seed (default 7)")
+    artefact_options.add_argument(
         "--at", type=float, default=0.5, help="initial target-domain accuracy a_T (default 0.5)"
     )
+    for experiment in EXPERIMENTS:
+        subparsers.add_parser(
+            experiment,
+            parents=[artefact_options],
+            help=f"regenerate the paper's {experiment.replace('-', ' ')} artefact",
+        )
+
+    run_parser = subparsers.add_parser(
+        "run",
+        help="run one annotation campaign (select k workers on one dataset)",
+        description=(
+            "Run a single worker-selection campaign: load a dataset, run the "
+            "chosen selector under the paper's budget protocol, and report the "
+            "selected workers with their evaluated working-task accuracy."
+        ),
+    )
+    run_parser.add_argument("--dataset", type=_dataset_name, default="S-1", help="dataset name (default S-1)")
+    run_parser.add_argument(
+        "--selector",
+        type=_selector_name,
+        default="ours",
+        help=f"registered selector (default 'ours'); choices: {', '.join(selector_names())}",
+    )
+    run_parser.add_argument("--k", type=int, default=None, help="workers to select (default: the dataset's k)")
+    run_parser.add_argument("--seed", type=int, default=0, help="campaign seed (default 0)")
+    run_parser.add_argument(
+        "--tasks-per-batch", type=int, default=None, help="override the dataset's per-batch task count Q"
+    )
+    run_parser.add_argument(
+        "--at",
+        type=float,
+        default=None,
+        help="initial target-domain accuracy a_T (rejected if the selector does not model it)",
+    )
+    run_parser.add_argument("--json", action="store_true", help="print the full campaign report as JSON")
+    run_parser.add_argument("--stream", action="store_true", help="print one line per elimination round")
     return parser
 
 
@@ -80,9 +144,84 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
     )
 
 
+def _run_campaign(args: argparse.Namespace) -> int:
+    selector_config = {}
+    if args.at is not None:
+        selector_config["target_initial_accuracy"] = args.at
+    try:
+        # Campaign construction validates the dataset, the selector name and
+        # its configuration, and the k/Q overrides eagerly; failures here are
+        # user errors, not crashes.  Errors past this point are real bugs and
+        # keep their tracebacks.
+        campaign = Campaign(
+            dataset=args.dataset,
+            selector=args.selector,
+            k=args.k,
+            seed=args.seed,
+            tasks_per_batch=args.tasks_per_batch,
+            selector_config=selector_config,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        message = exc.args[0] if exc.args and isinstance(exc.args[0], str) else exc
+        print(f"repro-crowd run: error: {message}", file=sys.stderr)
+        return 2
+    return _report_campaign(campaign, args)
+
+
+def _report_campaign(campaign: Campaign, args: argparse.Namespace) -> int:
+    if args.stream:
+        # Under --json, stdout must stay a single valid JSON document, so the
+        # per-round progress goes to stderr.
+        stream_sink = sys.stderr if args.json else sys.stdout
+        print(
+            f"campaign {campaign.dataset_name} / {campaign.selector_name}: "
+            f"k={campaign.k}, {campaign.n_rounds} rounds, seed={campaign.seed}",
+            file=stream_sink,
+        )
+        for event in campaign.steps():
+            print(
+                f"  round {event.round_index}/{event.n_rounds}: "
+                f"{len(event.worker_ids)} -> {len(event.survivors)} workers, "
+                f"{event.tasks_per_worker} tasks/worker, budget {event.spent_budget} spent",
+                file=stream_sink,
+            )
+    report = campaign.run()
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(f"selected workers ({len(report.selected_worker_ids)} of k={report.k}):")
+    for worker_id in report.selected_worker_ids:
+        accuracy = report.per_worker_accuracy.get(worker_id, float("nan"))
+        print(f"  {worker_id}: final accuracy {accuracy:.3f}")
+    print(f"mean working-task accuracy: {report.mean_accuracy:.3f}")
+    print(f"ground-truth top-{report.k} accuracy: {report.ground_truth_accuracy:.3f}")
+    print(f"overlap with true top-k: {report.precision_at_k:.0%}")
+    print(f"budget: {report.spent_budget}/{report.total_budget} over {report.n_rounds} rounds")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+
+    if args.experiment == "run":
+        return _run_campaign(args)
+
+    # Artefact regeneration commands share ExperimentConfig-shaped options.
+    from repro.experiments import (
+        format_table,
+        results_to_markdown,
+        run_correlation_recovery,
+        run_figure5,
+        run_figure6,
+        run_figure7,
+        run_runtime,
+        run_table2,
+        run_table4,
+        run_table5,
+        run_training_gain,
+    )
+
     config = _config_from_args(args)
     datasets: Optional[List[str]] = args.datasets
 
@@ -111,7 +250,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     elif args.experiment == "training-gain":
         print(format_table(run_training_gain(datasets, config=config)))
     else:  # pragma: no cover - argparse restricts the choices
-        print(f"unknown experiment {args.experiment!r}", file=sys.stderr)
+        print(f"unknown command {args.experiment!r}", file=sys.stderr)
         return 2
     return 0
 

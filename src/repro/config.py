@@ -9,18 +9,12 @@ and example instantiates exactly the same configurations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
-from repro.baselines import (
-    LiRegressionSelector,
-    MeCpeSelector,
-    MedianEliminationSelector,
-    OursSelector,
-    UniformSamplingSelector,
-)
 from repro.core.cpe import CPEConfig
 from repro.core.lge import LGEConfig
+from repro.core.registry import make_selector, selector_exists, selector_names
 from repro.core.selector import BaseWorkerSelector
 
 # Display names used in tables (keys are the internal method identifiers).
@@ -69,28 +63,38 @@ class ExperimentConfig:
         """LGE configuration implied by this experiment configuration."""
         return LGEConfig(target_initial_accuracy=self.target_initial_accuracy)
 
+    def make_selector(self, method: str, seed: Optional[int] = None) -> BaseWorkerSelector:
+        """Build one registered selector with this configuration's shared knobs.
+
+        Knobs a selector does not accept (e.g. ``cpe_epochs`` for Uniform
+        Sampling) are dropped, so one configuration drives a heterogeneous
+        method roster.
+        """
+        return make_selector(
+            method,
+            seed=seed,
+            target_initial_accuracy=self.target_initial_accuracy,
+            cpe_epochs=self.cpe_epochs,
+            ignore_unsupported=True,
+        )
+
     def selector_factories(
         self,
         methods: Optional[List[str]] = None,
     ) -> Dict[str, Callable[[int], BaseWorkerSelector]]:
-        """Factories for the requested methods (default: the Table V roster)."""
+        """Factories for the requested methods (default: the Table V roster).
+
+        Thin delegation to :mod:`repro.core.registry`: every factory maps a
+        seed to ``make_selector(method, seed=..., <shared knobs>)``.
+        """
         requested = methods if methods is not None else list(METHOD_ORDER)
         factories: Dict[str, Callable[[int], BaseWorkerSelector]] = {}
         for method in requested:
-            if method == "us":
-                factories[method] = lambda seed: UniformSamplingSelector()
-            elif method == "me":
-                factories[method] = lambda seed: MedianEliminationSelector(rng=seed)
-            elif method == "li":
-                factories[method] = lambda seed: LiRegressionSelector()
-            elif method == "me-cpe":
-                factories[method] = lambda seed, cfg=self: MeCpeSelector(cpe_config=cfg.cpe_config(), rng=seed)
-            elif method == "ours":
-                factories[method] = lambda seed, cfg=self: OursSelector(
-                    cpe_config=cfg.cpe_config(), lge_config=cfg.lge_config(), rng=seed
+            if not selector_exists(method):
+                raise KeyError(
+                    f"unknown method {method!r}; registered selectors: {', '.join(selector_names())}"
                 )
-            else:
-                raise KeyError(f"unknown method {method!r}; known: {sorted(METHOD_LABELS)}")
+            factories[method] = lambda seed, method=method: self.make_selector(method, seed=seed)
         return factories
 
 

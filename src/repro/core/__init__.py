@@ -20,6 +20,10 @@ Modules
 :mod:`repro.core.bounds`
     The theoretical guarantees of Theorems 1-2 (per-round epsilon and the
     overall error bound) as checkable functions.
+:mod:`repro.core.registry`
+    The selector registry: every strategy is string-addressable via
+    ``make_selector(name, **config)`` and new ones plug in with the
+    ``@register_selector`` decorator.
 """
 
 from repro.core.bounds import delta_schedule, epsilon_for_round, required_tasks_per_worker, round_error_bound
@@ -27,11 +31,26 @@ from repro.core.cpe import CPEConfig, CrossDomainPerformanceEstimator
 from repro.core.elimination import median_eliminate
 from repro.core.lge import LGEConfig, LearningGainEstimator
 from repro.core.pipeline import CrossDomainWorkerSelector, RoundDiagnostics
-from repro.core.selector import BaseWorkerSelector, SelectionResult
+from repro.core.registry import (
+    SelectorRegistry,
+    describe_selector,
+    make_selector,
+    register_selector,
+    selector_exists,
+    selector_names,
+)
+from repro.core.selector import BaseWorkerSelector, SelectionResult, run_stepwise
 
 __all__ = [
     "BaseWorkerSelector",
     "SelectionResult",
+    "run_stepwise",
+    "SelectorRegistry",
+    "register_selector",
+    "make_selector",
+    "selector_names",
+    "selector_exists",
+    "describe_selector",
     "CPEConfig",
     "CrossDomainPerformanceEstimator",
     "LGEConfig",

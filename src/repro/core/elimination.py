@@ -10,7 +10,7 @@ ablation so that every variant eliminates identically.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence
 
 
 def median_eliminate(

@@ -22,14 +22,15 @@ off independently, which yields the paper's ablation variants:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Generator, List, Optional
 
 import numpy as np
 
 from repro.core.cpe import CPEConfig, CrossDomainPerformanceEstimator
 from repro.core.elimination import median_eliminate
 from repro.core.lge import LGEConfig, LearningGainEstimator
-from repro.core.selector import BaseWorkerSelector, SelectionResult, top_k_by_score
+from repro.core.registry import register_selector
+from repro.core.selector import BaseWorkerSelector, SelectionResult, run_stepwise, top_k_by_score
 from repro.platform.session import AnnotationEnvironment
 from repro.stats.rng import SeedLike, as_generator
 
@@ -84,6 +85,20 @@ class CrossDomainWorkerSelector(BaseWorkerSelector):
 
     # ------------------------------------------------------------------ #
     def select(self, environment: AnnotationEnvironment, k: Optional[int] = None) -> SelectionResult:
+        _, result = run_stepwise(self.stepwise(environment, k))
+        return result
+
+    def stepwise(
+        self, environment: AnnotationEnvironment, k: Optional[int] = None
+    ) -> Generator[RoundDiagnostics, None, SelectionResult]:
+        """One elimination round per ``next()``; returns the final result.
+
+        Yields the :class:`RoundDiagnostics` of every round *after* its
+        elimination decision, so a caller that stops consuming between
+        yields observes a consistent mid-run state (survivors decided,
+        budget charged).  :meth:`select` is exactly this generator driven
+        to completion.
+        """
         k = self.resolve_k(environment, k)
         schedule = environment.schedule
         prior_domains = environment.prior_domains
@@ -156,20 +171,20 @@ class CrossDomainWorkerSelector(BaseWorkerSelector):
 
             # --- Worker selection: Median Elimination (Algorithm 3). ---
             survivors = median_eliminate(remaining, [estimates_by_id[w] for w in remaining])
-            diagnostics.append(
-                RoundDiagnostics(
-                    round_index=round_index,
-                    worker_ids=list(remaining),
-                    tasks_per_worker=tasks_per_worker,
-                    observed_accuracies={w: float(observed_accuracy[w]) for w in remaining},
-                    cpe_estimates={w: float(p) for w, p in zip(remaining, cpe_estimates)},
-                    lge_estimates=dict(estimates_by_id),
-                    survivors=list(survivors),
-                )
+            round_diagnostics = RoundDiagnostics(
+                round_index=round_index,
+                worker_ids=list(remaining),
+                tasks_per_worker=tasks_per_worker,
+                observed_accuracies={w: float(observed_accuracy[w]) for w in remaining},
+                cpe_estimates={w: float(p) for w, p in zip(remaining, cpe_estimates)},
+                lge_estimates=dict(estimates_by_id),
+                survivors=list(survivors),
             )
+            diagnostics.append(round_diagnostics)
             previous_round_estimates = last_estimates
             last_estimates = estimates_by_id
             remaining = survivors
+            yield round_diagnostics
 
         # --- Final selection (Algorithm 4, line 17). ---
         if len(remaining) >= k:
@@ -203,4 +218,45 @@ class CrossDomainWorkerSelector(BaseWorkerSelector):
         )
 
 
-__all__ = ["CrossDomainWorkerSelector", "RoundDiagnostics"]
+@register_selector("cross-domain", aliases=("pipeline",))
+def _build_cross_domain(
+    seed: SeedLike = None,
+    use_cpe: bool = True,
+    use_lge: bool = True,
+    target_initial_accuracy: Optional[float] = None,
+    cpe_epochs: Optional[int] = None,
+    cpe_config: Optional[CPEConfig] = None,
+    lge_config: Optional[LGEConfig] = None,
+    name: Optional[str] = None,
+) -> CrossDomainWorkerSelector:
+    """The configurable pipeline itself, ablation flags exposed."""
+    return CrossDomainWorkerSelector(
+        cpe_config=cpe_config or build_cpe_config(target_initial_accuracy, cpe_epochs),
+        lge_config=lge_config or build_lge_config(target_initial_accuracy),
+        use_cpe=use_cpe,
+        use_lge=use_lge,
+        rng=seed,
+        name=name,
+    )
+
+
+def build_cpe_config(
+    target_initial_accuracy: Optional[float] = None, cpe_epochs: Optional[int] = None
+) -> CPEConfig:
+    """A :class:`CPEConfig` with only the explicitly provided knobs overridden."""
+    overrides: Dict[str, object] = {}
+    if target_initial_accuracy is not None:
+        overrides["initial_target_mean"] = target_initial_accuracy
+    if cpe_epochs is not None:
+        overrides["n_epochs"] = cpe_epochs
+    return CPEConfig(**overrides)
+
+
+def build_lge_config(target_initial_accuracy: Optional[float] = None) -> LGEConfig:
+    """A :class:`LGEConfig` with only the explicitly provided knobs overridden."""
+    if target_initial_accuracy is not None:
+        return LGEConfig(target_initial_accuracy=target_initial_accuracy)
+    return LGEConfig()
+
+
+__all__ = ["CrossDomainWorkerSelector", "RoundDiagnostics", "build_cpe_config", "build_lge_config"]

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Generator, List, Optional, Tuple
 
 from repro.platform.session import AnnotationEnvironment
 
@@ -68,6 +68,25 @@ class BaseWorkerSelector(abc.ABC):
         beyond ``B`` raise) and must not access any latent worker state.
         """
 
+    def stepwise(
+        self, environment: AnnotationEnvironment, k: Optional[int] = None
+    ) -> Generator[object, None, SelectionResult]:
+        """Generator protocol: yield one event per assignment round, return the result.
+
+        Round-based selectors override this to yield a per-round record (a
+        :class:`~repro.core.pipeline.RoundDiagnostics`) after every
+        elimination decision, which lets callers — notably
+        :class:`repro.campaign.Campaign` — stream progress and checkpoint
+        between rounds.  The generator's *return value* (``StopIteration
+        .value``) is the final :class:`SelectionResult`.
+
+        The default implementation runs :meth:`select` in one shot and
+        yields nothing, so every selector is stepwise-drivable even when it
+        has no internal round structure.
+        """
+        return self.select(environment, k)
+        yield  # pragma: no cover - unreachable; makes this a generator function
+
     # ------------------------------------------------------------------ #
     def resolve_k(self, environment: AnnotationEnvironment, k: Optional[int]) -> int:
         """The selection size: explicit ``k`` or the environment schedule's default."""
@@ -88,4 +107,23 @@ def top_k_by_score(scores: Dict[str, float], k: int) -> List[str]:
     return [worker_id for worker_id, _ in ranked[:k]]
 
 
-__all__ = ["BaseWorkerSelector", "SelectionResult", "top_k_by_score"]
+def run_stepwise(
+    generator: Generator[object, None, SelectionResult],
+) -> Tuple[List[object], SelectionResult]:
+    """Drive a :meth:`BaseWorkerSelector.stepwise` generator to completion.
+
+    Returns the list of yielded per-round events and the final
+    :class:`SelectionResult` carried by the generator's return value.
+    """
+    events: List[object] = []
+    while True:
+        try:
+            events.append(next(generator))
+        except StopIteration as stop:
+            result = stop.value
+            if not isinstance(result, SelectionResult):
+                raise TypeError("a stepwise selector generator must return a SelectionResult")
+            return events, result
+
+
+__all__ = ["BaseWorkerSelector", "SelectionResult", "top_k_by_score", "run_stepwise"]

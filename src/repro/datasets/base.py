@@ -14,15 +14,15 @@ be overridden at instantiation time; the budget then follows Table II's
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.platform.budget import BudgetSchedule, compute_budget, default_total_budget, number_of_batches
 from repro.platform.session import AnnotationEnvironment
 from repro.platform.tasks import TaskBank, generate_task_bank
-from repro.stats.rng import SeedLike, as_generator, derive_seed
+from repro.stats.rng import SeedLike, derive_seed
 from repro.workers.pool import WorkerPool
 from repro.workers.population import PopulationConfig, sample_learning_population
 

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-import numpy as np
 
 from repro.datasets.base import DatasetSpec
 from repro.workers.population import PopulationConfig

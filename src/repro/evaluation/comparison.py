@@ -10,7 +10,7 @@ selection.  :func:`compare_selectors` implements that loop once.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional
 
 import numpy as np
 

@@ -93,6 +93,8 @@ def run_method_comparison(
         to the registry.
     """
     config = config or ExperimentConfig()
+    # Registry-backed factories: validates the requested methods eagerly and
+    # keeps one construction path shared with every other consumer.
     factories = config.selector_factories(methods)
     results: Dict[str, DatasetResult] = {}
 

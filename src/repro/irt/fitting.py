@@ -20,7 +20,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-import numpy as np
 
 from repro.irt.learning_curve import LearningCurveModel
 from repro.stats.optimize import minimize_scalar_bounded

@@ -8,8 +8,8 @@ went to which workers so the answer history can be scored and audited.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from dataclasses import dataclass
+from typing import List, Sequence
 
 from repro.platform.tasks import Task, TaskBank
 

@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.platform.assignment import RoundAssignment, build_round_assignment
+from repro.platform.assignment import build_round_assignment
 from repro.platform.budget import BudgetSchedule
 from repro.platform.history import AnswerHistory, RoundRecord
 from repro.platform.tasks import TaskBank

@@ -15,7 +15,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Iterator, List
 
 from repro.stats.rng import SeedLike, as_generator
 

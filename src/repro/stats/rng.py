@@ -9,7 +9,7 @@ mixing the legacy global ``numpy.random`` state with new-style generators.
 from __future__ import annotations
 
 import zlib
-from typing import List, Optional, Union
+from typing import List, Union
 
 import numpy as np
 

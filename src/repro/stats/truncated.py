@@ -13,7 +13,6 @@ the coordinates are annotation accuracies.  This module provides:
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
 
 import numpy as np
 from scipy import stats as sps

@@ -29,7 +29,6 @@ feedback arrives.
 from __future__ import annotations
 
 import abc
-from typing import Optional
 
 import numpy as np
 

@@ -15,7 +15,7 @@ from repro.core.cpe import CPEConfig
 from repro.core.lge import LGEConfig
 from repro.datasets.base import DatasetSpec
 from repro.datasets.synthetic import synthetic_spec
-from repro.platform.budget import compute_budget, default_total_budget
+from repro.platform.budget import compute_budget
 from repro.platform.session import AnnotationEnvironment
 from repro.platform.tasks import generate_task_bank
 from repro.workers.behavior import LearningWorker, StaticWorker

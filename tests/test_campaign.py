@@ -1,0 +1,148 @@
+"""Campaign facade tests: one-shot, streaming, checkpoint/resume, JSON round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign import Campaign, CampaignEvent, CampaignReport
+
+# Small synthetic dataset keeps the full pipeline runs fast.
+DATASET = "S-1"
+
+
+@pytest.fixture(scope="module")
+def ours_report():
+    return Campaign(dataset=DATASET, selector="ours", k=5, seed=0).run()
+
+
+class TestOneShot:
+    def test_run_selects_k_workers(self, ours_report):
+        assert len(ours_report.selected_worker_ids) == 5
+        assert ours_report.k == 5
+        assert len(set(ours_report.selected_worker_ids)) == 5
+
+    def test_report_is_evaluated(self, ours_report):
+        assert 0.0 <= ours_report.mean_accuracy <= 1.0
+        assert 0.0 <= ours_report.precision_at_k <= 1.0
+        assert ours_report.mean_accuracy <= ours_report.ground_truth_accuracy + 1e-9
+        assert set(ours_report.per_worker_accuracy) == set(ours_report.selected_worker_ids)
+
+    def test_budget_respected(self, ours_report):
+        assert 0 < ours_report.spent_budget <= ours_report.total_budget
+
+    def test_events_cover_every_round(self, ours_report):
+        assert len(ours_report.events) == ours_report.n_rounds
+        assert [event.round_index for event in ours_report.events] == list(
+            range(1, ours_report.n_rounds + 1)
+        )
+
+    def test_non_stepwise_selector_runs(self):
+        report = Campaign(dataset=DATASET, selector="us", seed=1).run()
+        assert len(report.selected_worker_ids) == report.k
+        assert report.events == []  # US has no internal round structure
+
+    def test_same_seed_is_deterministic(self, ours_report):
+        again = Campaign(dataset=DATASET, selector="ours", k=5, seed=0).run()
+        assert again.selected_worker_ids == ours_report.selected_worker_ids
+        assert again.mean_accuracy == ours_report.mean_accuracy
+
+    def test_aliases_and_case_variants_select_identically(self, ours_report):
+        # The selector seed is derived from the *canonical* name, so an alias
+        # or a case variant must reproduce the canonical selection exactly.
+        for spelling in ("cpe-lge", "OURS"):
+            report = Campaign(dataset=DATASET, selector=spelling, k=5, seed=0).run()
+            assert report.selected_worker_ids == ours_report.selected_worker_ids
+            assert report.selector == "ours"
+
+    def test_invalid_selector_config_rejected_eagerly(self):
+        with pytest.raises(TypeError):
+            Campaign(dataset=DATASET, selector="us", not_a_knob=1)
+
+    def test_different_seeds_draw_different_pools(self, ours_report):
+        other = Campaign(dataset=DATASET, selector="ours", k=5, seed=123).run()
+        assert other.to_dict() != ours_report.to_dict()
+
+
+class TestStreaming:
+    def test_steps_yield_shrinking_survivor_sets(self):
+        campaign = Campaign(dataset=DATASET, selector="me", seed=2)
+        events = list(campaign.steps())
+        assert len(events) == campaign.n_rounds
+        for event in events:
+            assert set(event.survivors) <= set(event.worker_ids)
+            assert len(event.survivors) <= len(event.worker_ids)
+        sizes = [len(event.worker_ids) for event in events]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_budget_is_monotone_across_events(self):
+        campaign = Campaign(dataset=DATASET, selector="ours", seed=3)
+        spent = [event.spent_budget for event in campaign.steps()]
+        assert spent == sorted(spent)
+        assert campaign.finished is True  # steps() drains the run to completion
+        assert campaign.step() is None
+
+    def test_step_after_finish_returns_none(self):
+        campaign = Campaign(dataset=DATASET, selector="us", seed=0)
+        campaign.run()
+        assert campaign.step() is None
+
+
+class TestCheckpointResume:
+    @pytest.mark.parametrize("rounds_before_pause", [0, 1, 2])
+    def test_resume_matches_uninterrupted_run(self, rounds_before_pause, ours_report):
+        campaign = Campaign(dataset=DATASET, selector="ours", k=5, seed=0)
+        for _ in range(rounds_before_pause):
+            assert campaign.step() is not None
+        state = campaign.state_dict()
+
+        # The checkpoint must survive a JSON round-trip (file/queue transport).
+        restored = Campaign.from_state_dict(json.loads(json.dumps(state)))
+        assert restored.rounds_completed == rounds_before_pause
+        report = restored.run()
+
+        assert report.selected_worker_ids == ours_report.selected_worker_ids
+        assert report.mean_accuracy == ours_report.mean_accuracy
+        assert report.spent_budget == ours_report.spent_budget
+
+    def test_finished_state_round_trips(self, ours_report):
+        campaign = Campaign(dataset=DATASET, selector="ours", k=5, seed=0)
+        campaign.run()
+        restored = Campaign.from_state_dict(campaign.state_dict())
+        assert restored.finished
+        assert restored.report().selected_worker_ids == ours_report.selected_worker_ids
+
+    def test_selector_config_travels_through_state(self):
+        campaign = Campaign(dataset=DATASET, selector="ours", seed=5, target_initial_accuracy=0.6)
+        campaign.step()
+        restored = Campaign.from_state_dict(json.loads(json.dumps(campaign.state_dict())))
+        assert restored.run().selected_worker_ids == Campaign(
+            dataset=DATASET, selector="ours", seed=5, target_initial_accuracy=0.6
+        ).run().selected_worker_ids
+
+    def test_unsupported_state_version_rejected(self):
+        with pytest.raises(ValueError):
+            Campaign.from_state_dict({"version": 99, "dataset": DATASET, "selector": "us", "seed": 0})
+
+
+class TestJsonRoundTrips:
+    def test_report_round_trip(self, ours_report):
+        payload = json.loads(json.dumps(ours_report.to_dict()))
+        restored = CampaignReport.from_dict(payload)
+        assert restored == ours_report
+
+    def test_event_round_trip(self, ours_report):
+        event = ours_report.events[0]
+        assert CampaignEvent.from_dict(json.loads(json.dumps(event.to_dict()))) == event
+
+
+class TestValidation:
+    def test_unknown_dataset_rejected_eagerly(self):
+        with pytest.raises(KeyError):
+            Campaign(dataset="NOPE", selector="ours")
+
+    def test_unknown_selector_rejected_eagerly(self):
+        with pytest.raises(KeyError) as excinfo:
+            Campaign(dataset=DATASET, selector="not-a-selector")
+        assert "ours" in str(excinfo.value)

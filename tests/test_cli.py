@@ -1,0 +1,71 @@
+"""CLI tests for the redesigned ``repro-crowd`` entry point."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import __version__
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_artefact_commands_keep_their_options(self):
+        args = build_parser().parse_args(["table5", "--datasets", "RW-1", "S-1", "--repetitions", "2"])
+        assert args.experiment == "table5"
+        assert args.datasets == ["RW-1", "S-1"]
+        assert args.repetitions == 2
+
+    def test_dataset_names_canonicalised_at_parse_time(self):
+        args = build_parser().parse_args(["table2", "--datasets", "rw-1", "s-3"])
+        assert args.datasets == ["RW-1", "S-3"]
+
+    def test_unknown_dataset_rejected_at_parse_time(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["table2", "--datasets", "RW-9"])
+        assert excinfo.value.code == 2
+        stderr = capsys.readouterr().err
+        assert "RW-9" in stderr
+        assert "RW-1" in stderr  # the error lists the valid choices
+
+    def test_unknown_selector_rejected_at_parse_time(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--selector", "nope"])
+        assert "ours" in capsys.readouterr().err
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.experiment == "run"
+        assert args.dataset == "S-1"
+        assert args.selector == "ours"
+        assert args.k is None
+        assert args.seed == 0
+
+
+class TestRunCommand:
+    def test_run_json_prints_a_valid_campaign_report(self, capsys):
+        assert main(["run", "--dataset", "S-1", "--selector", "us", "--k", "5", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["dataset"] == "S-1"
+        assert payload["selector"] == "us"
+        assert len(payload["selected_worker_ids"]) == 5
+        assert 0.0 <= payload["mean_accuracy"] <= 1.0
+        assert payload["spent_budget"] <= payload["total_budget"]
+
+    def test_run_human_output(self, capsys):
+        assert main(["run", "--dataset", "S-1", "--selector", "me", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "selected workers" in out
+        assert "mean working-task accuracy" in out
+
+    def test_run_stream_prints_round_lines(self, capsys):
+        assert main(["run", "--dataset", "S-1", "--selector", "me", "--stream"]) == 0
+        out = capsys.readouterr().out
+        assert "round 1/" in out

@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.datasets.base import DatasetSpec
 from repro.datasets.consistency import consistency_report, dataset_target_accuracies
 from repro.datasets.realworld import calibrate_learning_rate, rw1_spec, rw2_spec
 from repro.datasets.registry import DATASET_NAMES, all_specs, get_spec, load_dataset

@@ -7,7 +7,6 @@ import pytest
 
 from repro.platform.assignment import build_round_assignment
 from repro.platform.budget import (
-    BudgetSchedule,
     compute_budget,
     default_total_budget,
     number_of_batches,

@@ -1,0 +1,153 @@
+"""Selector-registry tests: registration, lookup, configuration, errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    LiRegressionSelector,
+    MeCpeSelector,
+    MedianEliminationSelector,
+    OracleSelector,
+    OursSelector,
+    RandomSelector,
+    UniformSamplingSelector,
+)
+from repro.config import METHOD_ORDER, ExperimentConfig
+from repro.core.pipeline import CrossDomainWorkerSelector
+from repro.core.registry import (
+    SelectorRegistry,
+    describe_selector,
+    make_selector,
+    selector_exists,
+    selector_names,
+)
+from repro.core.selector import BaseWorkerSelector
+
+EXPECTED_TYPES = {
+    "us": UniformSamplingSelector,
+    "me": MedianEliminationSelector,
+    "li": LiRegressionSelector,
+    "me-cpe": MeCpeSelector,
+    "ours": OursSelector,
+    "random": RandomSelector,
+    "oracle": OracleSelector,
+    "cross-domain": CrossDomainWorkerSelector,
+}
+
+
+class TestBuiltinRegistrations:
+    def test_all_builtin_selectors_registered(self):
+        assert set(EXPECTED_TYPES) <= set(selector_names())
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_TYPES))
+    def test_make_selector_by_name(self, name):
+        selector = make_selector(name, seed=0)
+        assert isinstance(selector, EXPECTED_TYPES[name])
+        assert isinstance(selector, BaseWorkerSelector)
+
+    def test_lookup_is_case_insensitive(self):
+        assert isinstance(make_selector("OURS", seed=0), OursSelector)
+
+    def test_aliases_resolve(self):
+        assert isinstance(make_selector("uniform"), UniformSamplingSelector)
+        assert isinstance(make_selector("median-elimination", seed=1), MedianEliminationSelector)
+        assert isinstance(make_selector("pipeline", seed=1), CrossDomainWorkerSelector)
+
+    def test_selector_exists(self):
+        assert selector_exists("ours")
+        assert selector_exists("uniform")  # alias
+        assert not selector_exists("nope")
+
+    def test_keyword_configuration_reaches_the_estimators(self):
+        selector = make_selector("ours", seed=3, target_initial_accuracy=0.6, cpe_epochs=10)
+        inner = selector._inner
+        assert inner._cpe_config.initial_target_mean == 0.6
+        assert inner._cpe_config.n_epochs == 10
+        assert inner._lge_config.target_initial_accuracy == 0.6
+
+    def test_describe_selector_mentions_signature(self):
+        description = describe_selector("ours")
+        assert "ours" in description
+        assert "seed" in description
+
+
+class TestErrors:
+    def test_unknown_name_lists_registered_selectors(self):
+        with pytest.raises(KeyError) as excinfo:
+            make_selector("does-not-exist")
+        message = str(excinfo.value)
+        assert "does-not-exist" in message
+        assert "ours" in message and "us" in message
+
+    def test_unknown_config_key_is_a_friendly_type_error(self):
+        with pytest.raises(TypeError) as excinfo:
+            make_selector("us", seed=0, not_a_knob=1)
+        assert "us" in str(excinfo.value)
+
+    def test_ignore_unsupported_drops_extra_config(self):
+        selector = make_selector("us", seed=0, cpe_epochs=99, ignore_unsupported=True)
+        assert isinstance(selector, UniformSamplingSelector)
+
+
+class TestCustomRegistration:
+    def test_register_and_create_on_a_fresh_registry(self):
+        registry = SelectorRegistry()
+
+        @registry.register("always-random", aliases=("ar",))
+        def _build(seed=None):
+            return RandomSelector(rng=seed)
+
+        assert registry.names() == ["always-random"]
+        assert isinstance(registry.create("AR", seed=0), RandomSelector)
+
+    def test_duplicate_registration_rejected_unless_replace(self):
+        registry = SelectorRegistry()
+        registry.register("x", lambda seed=None: RandomSelector(rng=seed))
+        with pytest.raises(ValueError):
+            registry.register("x", lambda seed=None: RandomSelector(rng=seed))
+        registry.register("x", lambda seed=None: OracleSelector(), replace=True)
+        assert isinstance(registry.create("x"), OracleSelector)
+
+    def test_registering_over_an_alias_rejected_unless_replace(self):
+        registry = SelectorRegistry()
+        registry.register("base", lambda seed=None: RandomSelector(rng=seed), aliases=("nick",))
+        with pytest.raises(ValueError):  # would be silently shadowed by the alias
+            registry.register("nick", lambda seed=None: OracleSelector())
+        registry.register("nick", lambda seed=None: OracleSelector(), replace=True)
+        assert isinstance(registry.create("nick"), OracleSelector)  # alias no longer shadows
+        assert isinstance(registry.create("base"), RandomSelector)
+
+    def test_alias_colliding_with_a_registered_name_rejected(self):
+        registry = SelectorRegistry()
+        registry.register("victim", lambda seed=None: RandomSelector(rng=seed))
+        with pytest.raises(ValueError):  # would silently hijack "victim"
+            registry.register("other", lambda seed=None: OracleSelector(), aliases=("victim",))
+        assert isinstance(registry.create("victim"), RandomSelector)
+
+    def test_unregister_removes_aliases(self):
+        registry = SelectorRegistry()
+        registry.register("y", lambda seed=None: RandomSelector(rng=seed), aliases=("why",))
+        registry.unregister("why")
+        assert "y" not in registry
+        assert "why" not in registry
+
+
+class TestConfigDelegation:
+    def test_selector_factories_delegate_to_registry(self):
+        factories = ExperimentConfig().selector_factories()
+        assert set(factories) == set(METHOD_ORDER)
+        for method, factory in factories.items():
+            selector = factory(0)
+            assert isinstance(selector, EXPECTED_TYPES[method])
+
+    def test_shared_knobs_propagate_through_factories(self):
+        config = ExperimentConfig(target_initial_accuracy=0.3, cpe_epochs=5)
+        selector = config.selector_factories(["ours"])["ours"](0)
+        assert selector._inner._cpe_config.initial_target_mean == 0.3
+        assert selector._inner._cpe_config.n_epochs == 5
+
+    def test_unknown_method_error_lists_registered_names(self):
+        with pytest.raises(KeyError) as excinfo:
+            ExperimentConfig().selector_factories(["nope"])
+        assert "ours" in str(excinfo.value)

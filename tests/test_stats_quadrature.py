@@ -7,7 +7,7 @@ import pytest
 from scipy import stats as sps
 from scipy.special import beta as beta_function
 
-from repro.stats.quadrature import GaussLegendreRule, unit_interval_rule
+from repro.stats.quadrature import unit_interval_rule
 
 
 class TestRuleConstruction:
