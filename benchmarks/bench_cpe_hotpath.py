@@ -1,0 +1,198 @@
+"""Hot-path benchmark: CPE ``update()`` / ``predict()`` across pool sizes.
+
+The CPE gradient update is the dominant cost of every selection run, so this
+benchmark times it directly — reference engine vs. vectorized engine — on
+synthetic 3-domain pools from the RW-1 scale (27 workers) up to far beyond
+the paper's largest survey (640 workers).  It doubles as a correctness
+probe: for every pool size the two engines' log-likelihoods are compared on
+the same data.
+
+Run it as a script (the pytest suite does not collect it):
+
+    PYTHONPATH=src python benchmarks/bench_cpe_hotpath.py
+    PYTHONPATH=src python benchmarks/bench_cpe_hotpath.py \
+        --pool-sizes 27 160 --repeats 1 --epochs 5 --output /tmp/bench.json
+
+The machine-readable output seeds the repo's perf trajectory
+(``BENCH_cpe_hotpath.json``); its schema is documented in the README's
+"CPE hot-path architecture" section and stamped into the payload as
+``schema_version``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.cpe import CPEConfig, CrossDomainPerformanceEstimator
+
+SCHEMA_VERSION = 1
+
+DEFAULT_POOL_SIZES = (27, 54, 160, 320, 640)
+DEFAULT_N_DOMAINS = 3
+#: Fraction of workers given a missing prior domain, mirroring the sparse
+#: RW profiles so the pattern-grouping path is exercised, not idled.
+MISSING_DOMAIN_FRACTION = 0.1
+
+
+def build_workload(
+    n_workers: int,
+    n_domains: int = DEFAULT_N_DOMAINS,
+    tasks_per_worker: int = 20,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Synthetic historical profiles and one round of counts for a pool."""
+    rng = np.random.default_rng(seed)
+    profiles = np.clip(rng.normal(0.7, 0.12, size=(n_workers, n_domains)), 0.05, 0.95)
+    n_missing = int(MISSING_DOMAIN_FRACTION * n_workers)
+    for row in rng.choice(n_workers, size=n_missing, replace=False):
+        profiles[row, rng.integers(n_domains)] = np.nan
+    latent = np.clip(rng.normal(0.7, 0.12, size=n_workers), 0.05, 0.95)
+    correct = rng.binomial(tasks_per_worker, latent).astype(float)
+    wrong = tasks_per_worker - correct
+    return profiles, correct, wrong
+
+
+def make_estimator(engine: str, n_epochs: int, seed: int = 0) -> CrossDomainPerformanceEstimator:
+    config = CPEConfig(likelihood_engine=engine, n_epochs=n_epochs)
+    domains = [f"d{index}" for index in range(1, DEFAULT_N_DOMAINS + 1)]
+    return CrossDomainPerformanceEstimator(domains, config, rng=seed)
+
+
+def time_engine(
+    engine: str,
+    workload: Tuple[np.ndarray, np.ndarray, np.ndarray],
+    n_epochs: int,
+    repeats: int,
+) -> Dict[str, float]:
+    """Best-of-``repeats`` wall time of ``update()`` and ``predict()``."""
+    profiles, correct, wrong = workload
+    update_times: List[float] = []
+    predict_times: List[float] = []
+    for _ in range(repeats):
+        estimator = make_estimator(engine, n_epochs)
+        estimator.initialize(profiles)
+        start = time.perf_counter()
+        estimator.update(profiles, correct, wrong)
+        update_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        estimator.predict(profiles, correct, wrong)
+        predict_times.append(time.perf_counter() - start)
+    return {"update_s": min(update_times), "predict_s": min(predict_times)}
+
+
+def engine_agreement(
+    workload: Tuple[np.ndarray, np.ndarray, np.ndarray],
+    n_probe_models: int = 16,
+    seed: int = 1,
+) -> float:
+    """Max |reference - vectorized| log-likelihood over a cloud of models.
+
+    Probes the initialised model plus randomly perturbed parameter vectors
+    around it (the regime the gradient update actually visits), so the
+    reported maximum reflects the whole workload, not one friendly point.
+    """
+    from repro.stats.mvn import MultivariateNormalModel
+
+    profiles, correct, wrong = workload
+    estimator = make_estimator("vectorized", n_epochs=0)
+    base = estimator.initialize(profiles)
+    rng = np.random.default_rng(seed)
+    thetas = base.pack_parameters()[None, :] + np.concatenate(
+        [np.zeros((1, base.pack_parameters().size)),
+         rng.normal(0.0, 0.05, size=(n_probe_models, base.pack_parameters().size))]
+    )
+    models = MultivariateNormalModel.unpack_parameter_matrix(thetas, base.dimension)
+    data = estimator.prepare_round(profiles, correct, wrong)
+    fast = estimator.log_likelihood_batch(models, data)
+    reference = np.array(
+        [estimator.log_likelihood(model, profiles, correct, wrong) for model in models]
+    )
+    return float(np.max(np.abs(fast - reference)))
+
+
+def run_benchmark(
+    pool_sizes: Sequence[int],
+    n_epochs: int = 50,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Time both engines over the pool-size sweep and assemble the payload."""
+    results: List[Dict[str, object]] = []
+    for n_workers in pool_sizes:
+        workload = build_workload(n_workers)
+        reference = time_engine("reference", workload, n_epochs, repeats)
+        vectorized = time_engine("vectorized", workload, n_epochs, repeats)
+        row: Dict[str, object] = {
+            "n_workers": int(n_workers),
+            "update_reference_s": reference["update_s"],
+            "update_vectorized_s": vectorized["update_s"],
+            "update_speedup": reference["update_s"] / vectorized["update_s"],
+            "predict_s": vectorized["predict_s"],
+            "max_abs_loglik_diff": engine_agreement(workload),
+        }
+        results.append(row)
+        print(
+            f"  {n_workers:>4} workers | reference {row['update_reference_s']:.3f}s | "
+            f"vectorized {row['update_vectorized_s']:.3f}s | "
+            f"speedup {row['update_speedup']:.1f}x | "
+            f"predict {row['predict_s'] * 1e3:.2f}ms | "
+            f"loglik diff {row['max_abs_loglik_diff']:.2e}"
+        )
+    return {
+        "benchmark": "cpe_hotpath",
+        "schema_version": SCHEMA_VERSION,
+        "config": {
+            "n_domains": DEFAULT_N_DOMAINS,
+            "n_epochs": n_epochs,
+            "n_quadrature_nodes": CPEConfig().n_quadrature_nodes,
+            "repeats": repeats,
+            "missing_domain_fraction": MISSING_DOMAIN_FRACTION,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "results": results,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--pool-sizes",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_POOL_SIZES),
+        help=f"worker-pool sizes to sweep (default: {' '.join(map(str, DEFAULT_POOL_SIZES))})",
+    )
+    parser.add_argument(
+        "--epochs", type=int, default=50, help="gradient epochs per update (paper: 50)"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repetitions; best-of is reported"
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_cpe_hotpath.json",
+        help="path of the machine-readable result (default: BENCH_cpe_hotpath.json)",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"CPE hot-path benchmark — epochs={args.epochs}, repeats={args.repeats}")
+    payload = run_benchmark(args.pool_sizes, n_epochs=args.epochs, repeats=args.repeats)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,7 +27,7 @@ Modules
 """
 
 from repro.core.bounds import delta_schedule, epsilon_for_round, required_tasks_per_worker, round_error_bound
-from repro.core.cpe import CPEConfig, CrossDomainPerformanceEstimator
+from repro.core.cpe import CPEConfig, CrossDomainPerformanceEstimator, RoundData
 from repro.core.elimination import median_eliminate
 from repro.core.lge import LGEConfig, LearningGainEstimator
 from repro.core.pipeline import CrossDomainWorkerSelector, RoundDiagnostics
@@ -52,6 +52,7 @@ __all__ = [
     "selector_exists",
     "describe_selector",
     "CPEConfig",
+    "RoundData",
     "CrossDomainPerformanceEstimator",
     "LGEConfig",
     "LearningGainEstimator",

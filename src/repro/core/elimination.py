@@ -37,11 +37,16 @@ def median_eliminate(
         estimate (ties broken by worker id for determinism).
     """
     ids = list(worker_ids)
-    estimates = list(estimated_accuracies)
+    estimates = [float(estimate) for estimate in estimated_accuracies]
     if len(ids) != len(estimates):
         raise ValueError("worker_ids and estimated_accuracies must have equal length")
     if not ids:
         raise ValueError("cannot eliminate from an empty worker set")
+    broken = [worker_id for worker_id, value in zip(ids, estimates) if not math.isfinite(value)]
+    if broken:
+        # NaNs poison sort comparisons and would yield an arbitrary ranking;
+        # fail loudly instead so the broken estimator upstream is visible.
+        raise ValueError(f"estimated accuracies must be finite; non-finite for workers {broken}")
     n_keep = keep if keep is not None else math.ceil(len(ids) / 2)
     if n_keep <= 0:
         raise ValueError("the number of survivors must be positive")

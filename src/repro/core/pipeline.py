@@ -142,12 +142,24 @@ class CrossDomainWorkerSelector(BaseWorkerSelector):
             wrong = np.asarray([wrong_by_id[worker_id] for worker_id in remaining], dtype=float)
 
             # --- Worker quality estimation: CPE (Algorithm 1). ---
-            if cpe is not None:
+            if tasks_per_worker == 0:
+                # Degenerate round: the per-round budget cannot cover even one
+                # task per remaining worker, so the round observed nothing.
+                # Feeding the all-zero counts into the CPE update would drag
+                # the model towards the count-free likelihood optimum, so the
+                # update is skipped and the freshest existing estimates carry
+                # over (prior-only CPE prediction on the first round).
+                if cpe is not None:
+                    cpe_estimates = cpe.predict(round_accuracy_matrix)
+                else:
+                    cpe_estimates = np.asarray(
+                        [last_estimates.get(worker_id, 0.5) for worker_id in remaining], dtype=float
+                    )
+            elif cpe is not None:
                 cpe.update(round_accuracy_matrix, correct, wrong)
                 cpe_estimates = cpe.predict(round_accuracy_matrix, correct, wrong)
             else:
-                totals = np.maximum(correct + wrong, 1.0)
-                cpe_estimates = correct / totals
+                cpe_estimates = correct / (correct + wrong)
             for worker_id, estimate in zip(remaining, cpe_estimates):
                 cpe_histories[worker_id].append(float(estimate))
 
@@ -190,10 +202,15 @@ class CrossDomainWorkerSelector(BaseWorkerSelector):
         if len(remaining) >= k:
             final_scores = {worker_id: last_estimates[worker_id] for worker_id in remaining}
         else:
+            # Fewer survivors than k: fall back to the last round's entrants.
+            # Every worker in that pool was (re-)estimated in the final round,
+            # so prefer those fresh estimates and only reach back to the
+            # penultimate round for workers that somehow lack one.
             fallback_pool = diagnostics[-1].worker_ids if diagnostics else list(all_ids)
-            fallback_scores = previous_round_estimates or last_estimates
             final_scores = {
-                worker_id: fallback_scores.get(worker_id, last_estimates.get(worker_id, 0.0))
+                worker_id: last_estimates.get(
+                    worker_id, previous_round_estimates.get(worker_id, 0.0)
+                )
                 for worker_id in fallback_pool
             }
         selected = top_k_by_score(final_scores, k)
@@ -225,13 +242,14 @@ def _build_cross_domain(
     use_lge: bool = True,
     target_initial_accuracy: Optional[float] = None,
     cpe_epochs: Optional[int] = None,
+    cpe_engine: Optional[str] = None,
     cpe_config: Optional[CPEConfig] = None,
     lge_config: Optional[LGEConfig] = None,
     name: Optional[str] = None,
 ) -> CrossDomainWorkerSelector:
     """The configurable pipeline itself, ablation flags exposed."""
     return CrossDomainWorkerSelector(
-        cpe_config=cpe_config or build_cpe_config(target_initial_accuracy, cpe_epochs),
+        cpe_config=cpe_config or build_cpe_config(target_initial_accuracy, cpe_epochs, cpe_engine),
         lge_config=lge_config or build_lge_config(target_initial_accuracy),
         use_cpe=use_cpe,
         use_lge=use_lge,
@@ -241,7 +259,9 @@ def _build_cross_domain(
 
 
 def build_cpe_config(
-    target_initial_accuracy: Optional[float] = None, cpe_epochs: Optional[int] = None
+    target_initial_accuracy: Optional[float] = None,
+    cpe_epochs: Optional[int] = None,
+    cpe_engine: Optional[str] = None,
 ) -> CPEConfig:
     """A :class:`CPEConfig` with only the explicitly provided knobs overridden."""
     overrides: Dict[str, object] = {}
@@ -249,6 +269,8 @@ def build_cpe_config(
         overrides["initial_target_mean"] = target_initial_accuracy
     if cpe_epochs is not None:
         overrides["n_epochs"] = cpe_epochs
+    if cpe_engine is not None:
+        overrides["likelihood_engine"] = cpe_engine
     return CPEConfig(**overrides)
 
 

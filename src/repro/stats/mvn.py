@@ -21,7 +21,7 @@ is applied when correlations drift towards an invalid configuration.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -301,6 +301,120 @@ class MultivariateNormalModel:
         rho[iu] = np.clip(vector[rho_s], -_MAX_ABS_RHO, _MAX_ABS_RHO)
         rho = rho + rho.T - np.eye(dimension)
         return cls(mean=mean, sigma=sigma, rho=rho)
+
+    @classmethod
+    def unpack_parameter_matrix(
+        cls, matrix: np.ndarray, dimension: int
+    ) -> List["MultivariateNormalModel"]:
+        """Unpack a ``(batch, n_params)`` matrix into one model per row.
+
+        Each row goes through exactly the same clamping and correlation
+        projection as :meth:`unpack_parameters`, so a batched likelihood
+        evaluation over the rows agrees with evaluating the rows one by one
+        (the equivalence the vectorized CPE engine relies on).  The
+        per-model work is a few ``d x d`` operations — negligible against
+        the ``(batch x workers x nodes)`` likelihood tables downstream.
+        """
+        matrix = np.atleast_2d(np.asarray(matrix, dtype=float))
+        return [cls.unpack_parameters(row, dimension) for row in matrix]
+
+    @classmethod
+    def unpack_moment_stack(
+        cls, matrix: np.ndarray, dimension: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`unpack_parameters` straight to ``(means, covariances)``.
+
+        Produces exactly the moments that ``unpack_parameters(row).mean`` /
+        ``.covariance`` would, but unpacks the whole ``(B, n_params)`` batch
+        with vectorised clamping and a single batched Cholesky validity
+        check.  Rows whose correlation matrix fails the check (and would
+        therefore be projected by ``_normalise_rho``) fall back to the
+        scalar path one by one, so the results are identical in every case.
+        """
+        matrix = np.atleast_2d(np.asarray(matrix, dtype=float))
+        n_batch = matrix.shape[0]
+        mean_s, sigma_s, rho_s = cls.parameter_slices(dimension)
+        means = matrix[:, mean_s].copy()
+        sigmas = np.clip(matrix[:, sigma_s], _MIN_SIGMA, None)
+        rhos = np.broadcast_to(np.eye(dimension), (n_batch, dimension, dimension)).copy()
+        iu = np.triu_indices(dimension, k=1)
+        clipped = np.clip(matrix[:, rho_s], -_MAX_ABS_RHO, _MAX_ABS_RHO)
+        rhos[:, iu[0], iu[1]] = clipped
+        rhos[:, iu[1], iu[0]] = clipped
+        try:
+            np.linalg.cholesky(rhos + _PD_EPS * np.eye(dimension))
+        except np.linalg.LinAlgError:
+            models = [cls.unpack_parameters(row, dimension) for row in matrix]
+            return cls.stack_moments(models)
+        covariances = rhos * (sigmas[:, :, None] * sigmas[:, None, :])
+        return means, covariances
+
+    @staticmethod
+    def stack_moments(
+        models: Sequence["MultivariateNormalModel"],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Stack per-model means and covariances into ``(B, d)`` / ``(B, d, d)`` arrays."""
+        if not models:
+            raise ValueError("at least one model is required")
+        means = np.stack([model.mean for model in models])
+        covariances = np.stack([model.covariance for model in models])
+        return means, covariances
+
+    @staticmethod
+    def conditional_batch_stacked(
+        means: np.ndarray,
+        covariances: np.ndarray,
+        observed_matrix: np.ndarray,
+        observed_indices: Sequence[int],
+        target_index: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """:meth:`conditional_batch` for a stack of parameter settings at once.
+
+        Parameters
+        ----------
+        means, covariances:
+            ``(B, d)`` mean vectors and ``(B, d, d)`` covariance matrices —
+            one model per finite-difference perturbation (see
+            :meth:`stack_moments`).
+        observed_matrix:
+            ``(R, m)`` prior-domain accuracies of ``R`` workers sharing the
+            same observed-domain pattern.
+        observed_indices, target_index:
+            As in :meth:`conditional_batch`.
+
+        Returns
+        -------
+        (cond_means, cond_vars):
+            ``(B, R)`` conditional means and ``(B,)`` conditional variances
+            (one per parameter setting; shared by the workers of a pattern).
+        """
+        means = np.atleast_2d(np.asarray(means, dtype=float))
+        covariances = np.asarray(covariances, dtype=float)
+        observed_matrix = np.atleast_2d(np.asarray(observed_matrix, dtype=float))
+        obs = np.asarray(list(observed_indices), dtype=int)
+        n_batch = means.shape[0]
+        n_rows = observed_matrix.shape[0]
+
+        if obs.size == 0:
+            cond_means = np.broadcast_to(means[:, target_index, None], (n_batch, n_rows)).copy()
+            cond_vars = covariances[:, target_index, target_index].copy()
+            return cond_means, np.maximum(cond_vars, _MIN_SIGMA**2)
+
+        sigma_oo = covariances[:, obs[:, None], obs[None, :]] + _SOLVE_JITTER * np.eye(obs.size)
+        sigma_to = covariances[:, target_index, :][:, obs]
+        sigma_tt = covariances[:, target_index, target_index]
+        try:
+            weights = np.linalg.solve(sigma_oo, sigma_to[..., None])[..., 0]
+        except np.linalg.LinAlgError:
+            # Mirror _robust_solve slice by slice: only the singular systems
+            # fall back to the pseudo-inverse.
+            weights = np.stack(
+                [_robust_solve(sigma_oo[index], sigma_to[index]) for index in range(n_batch)]
+            )
+        centered = observed_matrix[None, :, :] - means[:, None, obs]
+        cond_means = means[:, target_index, None] + np.einsum("brm,bm->br", centered, weights)
+        cond_vars = sigma_tt - np.einsum("bm,bm->b", sigma_to, weights)
+        return cond_means, np.maximum(cond_vars, _MIN_SIGMA**2)
 
     def with_parameters(self, vector: np.ndarray) -> "MultivariateNormalModel":
         """Return a new model whose parameters are the given packed vector."""

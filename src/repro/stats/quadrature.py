@@ -14,22 +14,47 @@ evaluations are then pure vectorised numpy over (workers x nodes) grids.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import Callable, Tuple
+from functools import cached_property, lru_cache
+from typing import Callable
 
 import numpy as np
 
 DEFAULT_NODES = 64
 
+#: Clip applied before taking logs of node positions; 1e-300 keeps the log
+#: finite at an (impossible for Gauss--Legendre) endpoint node while leaving
+#: every interior node untouched.
+LOG_CLIP = 1e-300
+
 
 @dataclass(frozen=True)
 class GaussLegendreRule:
-    """A fixed Gauss--Legendre rule mapped onto ``[lower, upper]``."""
+    """A fixed Gauss--Legendre rule mapped onto ``[lower, upper]``.
+
+    Instances returned by :func:`unit_interval_rule` are cached and shared,
+    so the log-space tables below are computed once per ``(n_nodes, lower,
+    upper)`` configuration and reused by every likelihood evaluation.
+    """
 
     nodes: np.ndarray
     weights: np.ndarray
     lower: float
     upper: float
+
+    @cached_property
+    def log_nodes(self) -> np.ndarray:
+        """``log(nodes)`` — the ``log h`` table of the Eq. (5) integrand."""
+        return np.log(np.clip(self.nodes, LOG_CLIP, None))
+
+    @cached_property
+    def log_one_minus_nodes(self) -> np.ndarray:
+        """``log(1 - nodes)`` — the ``log(1 - h)`` table of the Eq. (5) integrand."""
+        return np.log(np.clip(1.0 - self.nodes, LOG_CLIP, None))
+
+    @cached_property
+    def log_weights(self) -> np.ndarray:
+        """``log(weights)`` for assembling quadrature sums in log space."""
+        return np.log(self.weights)
 
     def integrate(self, values: np.ndarray) -> np.ndarray:
         """Integrate function values evaluated at :attr:`nodes`.
@@ -47,17 +72,24 @@ class GaussLegendreRule:
 
 
 @lru_cache(maxsize=32)
-def _legendre_rule(n_nodes: int, lower: float, upper: float) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
+def _legendre_rule(n_nodes: int, lower: float, upper: float) -> GaussLegendreRule:
     nodes, weights = np.polynomial.legendre.leggauss(n_nodes)
     half_width = 0.5 * (upper - lower)
     midpoint = 0.5 * (upper + lower)
-    mapped_nodes = midpoint + half_width * nodes
-    mapped_weights = half_width * weights
-    return tuple(mapped_nodes.tolist()), tuple(mapped_weights.tolist())
+    return GaussLegendreRule(
+        nodes=midpoint + half_width * nodes,
+        weights=half_width * weights,
+        lower=lower,
+        upper=upper,
+    )
 
 
 def unit_interval_rule(n_nodes: int = DEFAULT_NODES, lower: float = 0.0, upper: float = 1.0) -> GaussLegendreRule:
     """Return a cached Gauss--Legendre rule on ``[lower, upper]``.
+
+    The same :class:`GaussLegendreRule` instance is returned for repeated
+    calls with the same arguments, which shares its lazily computed
+    log-space tables across all users (treat the arrays as read-only).
 
     Parameters
     ----------
@@ -69,10 +101,7 @@ def unit_interval_rule(n_nodes: int = DEFAULT_NODES, lower: float = 0.0, upper: 
         raise ValueError(f"n_nodes must be at least 2, got {n_nodes}")
     if upper <= lower:
         raise ValueError("upper must exceed lower")
-    nodes, weights = _legendre_rule(int(n_nodes), float(lower), float(upper))
-    return GaussLegendreRule(
-        nodes=np.asarray(nodes), weights=np.asarray(weights), lower=float(lower), upper=float(upper)
-    )
+    return _legendre_rule(int(n_nodes), float(lower), float(upper))
 
 
-__all__ = ["GaussLegendreRule", "unit_interval_rule", "DEFAULT_NODES"]
+__all__ = ["GaussLegendreRule", "unit_interval_rule", "DEFAULT_NODES", "LOG_CLIP"]

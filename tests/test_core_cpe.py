@@ -41,6 +41,13 @@ class TestConfigValidation:
         with pytest.raises(ValueError):
             CPEConfig(n_quadrature_nodes=1)
 
+    def test_invalid_likelihood_engine(self):
+        with pytest.raises(ValueError):
+            CPEConfig(likelihood_engine="gpu")
+
+    def test_default_engine_is_vectorized(self):
+        assert CPEConfig().likelihood_engine == "vectorized"
+
 
 class TestInitialisation:
     def test_requires_initialisation_before_use(self):
@@ -212,3 +219,45 @@ class TestPredict:
         correlations = estimator.estimated_correlations()
         assert set(correlations) == {"d1", "d2", "d3"}
         assert all(-1.0 <= value <= 1.0 for value in correlations.values())
+
+
+class TestRoundData:
+    def test_prepare_round_groups_patterns_once(self):
+        estimator = make_estimator()
+        profiles = example_profiles()
+        profiles[1, 0] = np.nan
+        profiles[2, :] = np.nan
+        estimator.initialize(profiles)
+        data = estimator.prepare_round(profiles, np.array([5, 5, 5, 5]), np.array([5, 5, 5, 5]))
+        patterns = {pattern for pattern, _, _ in data.patterns}
+        assert patterns == {(0, 1, 2), (1, 2), ()}
+        assert data.n_workers == 4
+        # Every worker row appears in exactly one pattern group.
+        all_rows = np.concatenate([rows for _, rows, _ in data.patterns])
+        assert sorted(all_rows.tolist()) == [0, 1, 2, 3]
+
+    def test_binomial_term_is_parameter_independent_part(self):
+        estimator = make_estimator()
+        estimator.initialize(example_profiles())
+        correct = np.array([3.0, 0.0, 1.0, 2.0])
+        wrong = np.array([1.0, 4.0, 3.0, 2.0])
+        data = estimator.prepare_round(example_profiles(), correct, wrong)
+        rule = data.rule
+        expected = (
+            correct[:, None] * rule.log_nodes[None, :]
+            + wrong[:, None] * rule.log_one_minus_nodes[None, :]
+            + rule.log_weights[None, :]
+        )
+        np.testing.assert_allclose(data.binomial_term, expected)
+
+    def test_update_with_both_engines_improves_likelihood(self):
+        profiles = example_profiles()
+        correct = np.array([17, 12, 9, 5])
+        wrong = np.array([3, 8, 11, 15])
+        for engine in ("reference", "vectorized"):
+            estimator = make_estimator(n_epochs=6, rng=2, likelihood_engine=engine)
+            estimator.initialize(profiles)
+            before = estimator.log_likelihood(estimator.model, profiles, correct, wrong)
+            estimator.update(profiles, correct, wrong)
+            after = estimator.log_likelihood(estimator.model, profiles, correct, wrong)
+            assert after >= before - 1e-6, engine

@@ -55,6 +55,21 @@ class TestMedianEliminate:
         with pytest.raises(ValueError):
             median_eliminate(["a"], [0.5], keep=0)
 
+    def test_nan_estimate_rejected(self):
+        # A NaN poisons sort comparisons and silently yields an arbitrary
+        # ranking; the function must fail loudly and name the worker.
+        with pytest.raises(ValueError, match="b"):
+            median_eliminate(["a", "b", "c", "d"], [0.9, float("nan"), 0.7, 0.4])
+
+    def test_infinite_estimate_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            median_eliminate(["a", "b"], [np.inf, 0.5])
+
+    def test_nan_array_estimates_rejected(self):
+        estimates = np.array([0.3, 0.6, np.nan, 0.1])
+        with pytest.raises(ValueError):
+            median_eliminate(["a", "b", "c", "d"], estimates)
+
     def test_halving_reaches_k(self):
         sizes = elimination_trajectory(40, 5)
         assert sizes == [40, 20, 10, 5]

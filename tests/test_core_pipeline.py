@@ -108,3 +108,90 @@ class TestPipelineRun:
     def test_resolve_k_validation(self, tiny_environment):
         with pytest.raises(ValueError):
             fast_selector().select(tiny_environment, k=0)
+
+
+class TestFinalSelectionFallback:
+    def test_fallback_uses_freshest_estimates(self, tiny_environment):
+        # k = 4 over 12 workers halves 12 -> 6 -> 3, so the final survivor set
+        # is smaller than k and the selection falls back to the last round's
+        # entrants.  Regression: the fallback used the *penultimate* round's
+        # estimates even though every entrant was re-estimated in the final
+        # round; the final scores must come from the final round.
+        result = fast_selector().select(tiny_environment, k=4)
+        rounds = result.diagnostics["rounds"]
+        final_round = rounds[-1]
+        assert len(final_round.survivors) < 4
+        assert len(result.selected_worker_ids) == 4
+        for worker_id in result.selected_worker_ids:
+            assert worker_id in final_round.worker_ids
+            assert result.estimated_accuracies[worker_id] == pytest.approx(
+                final_round.lge_estimates[worker_id]
+            )
+
+    def test_fallback_selects_from_last_round_entrants(self, tiny_environment):
+        result = fast_selector().select(tiny_environment, k=5)
+        final_entrants = set(result.diagnostics["rounds"][-1].worker_ids)
+        assert set(result.selected_worker_ids) <= final_entrants
+
+
+class TestZeroObservationRound:
+    def _environment(self, total_budget):
+        from repro.platform.budget import compute_budget
+        from repro.platform.session import AnnotationEnvironment
+        from repro.platform.tasks import generate_task_bank
+        from repro.workers.behavior import StaticWorker
+        from repro.workers.pool import WorkerPool
+        from tests.conftest import make_profile
+
+        workers = []
+        for index, accuracy in enumerate(np.linspace(0.9, 0.4, 10)):
+            profile = make_profile(
+                f"w{index}", {"a": float(accuracy), "b": float(accuracy)}, {"a": 10, "b": 10}
+            )
+            workers.append(StaticWorker(profile, target_accuracy=float(accuracy)))
+        pool = WorkerPool(workers)
+        schedule = compute_budget(pool_size=10, k=3, total_budget=total_budget)
+        return AnnotationEnvironment(
+            pool=pool,
+            task_bank=generate_task_bank("t", n_learning=50, n_working=10, rng=1),
+            schedule=schedule,
+            prior_domains=["a", "b"],
+            rng=2,
+        )
+
+    def test_degenerate_round_skips_cpe_update(self, monkeypatch):
+        # total budget 12 over 2 rounds -> round budget 6 < 10 remaining
+        # workers, so round 1 assigns zero tasks per worker.  The all-zero
+        # counts must not be fed into the CPE update.
+        from repro.core.cpe import CrossDomainPerformanceEstimator
+
+        environment = self._environment(total_budget=12)
+        update_calls = []
+        original_update = CrossDomainPerformanceEstimator.update
+
+        def recording_update(self, accuracies, correct, wrong):
+            update_calls.append(float(np.sum(correct) + np.sum(wrong)))
+            return original_update(self, accuracies, correct, wrong)
+
+        monkeypatch.setattr(CrossDomainPerformanceEstimator, "update", recording_update)
+        result = fast_selector().select(environment)
+        rounds = result.diagnostics["rounds"]
+        zero_rounds = [diag for diag in rounds if diag.tasks_per_worker == 0]
+        assert zero_rounds, "expected at least one zero-observation round"
+        assert len(update_calls) == len(rounds) - len(zero_rounds)
+        assert all(total > 0 for total in update_calls)
+
+    def test_degenerate_round_estimates_stay_finite(self):
+        environment = self._environment(total_budget=12)
+        result = fast_selector().select(environment)
+        assert len(result.selected_worker_ids) == 3
+        for diag in result.diagnostics["rounds"]:
+            assert all(np.isfinite(list(diag.cpe_estimates.values())))
+            assert all(np.isfinite(list(diag.lge_estimates.values())))
+
+    def test_degenerate_round_without_cpe(self):
+        environment = self._environment(total_budget=12)
+        result = fast_selector(use_cpe=False, use_lge=False).select(environment)
+        assert len(result.selected_worker_ids) == 3
+        for diag in result.diagnostics["rounds"]:
+            assert all(np.isfinite(list(diag.lge_estimates.values())))

@@ -1,0 +1,192 @@
+"""Equivalence of the vectorized CPE likelihood engine and the reference path.
+
+The vectorized engine (RoundData precomputation + stacked batch evaluation)
+must compute the same Eq. (5) log-likelihood as the original scalar path to
+~1e-10, produce the same finite-difference gradients, and — the end-to-end
+claim — yield identical selections when driving full campaigns on the S-1
+and RW-1 seeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.campaign import Campaign
+from repro.core.cpe import CPEConfig, CrossDomainPerformanceEstimator
+from repro.stats.mvn import MultivariateNormalModel
+from repro.stats.optimize import (
+    finite_difference_gradient,
+    finite_difference_gradient_batch,
+)
+
+N_DOMAINS = 3
+DIMENSION = N_DOMAINS + 1
+
+
+def make_estimator(seed=0, **overrides) -> CrossDomainPerformanceEstimator:
+    config = CPEConfig(**overrides)
+    return CrossDomainPerformanceEstimator([f"d{i}" for i in range(N_DOMAINS)], config, rng=seed)
+
+
+def random_workload(rng: np.random.Generator, n_workers: int, with_missing: bool = True):
+    """Random profiles (optionally with missing-domain patterns) and counts."""
+    profiles = np.clip(rng.normal(0.65, 0.15, size=(n_workers, N_DOMAINS)), 0.05, 0.95)
+    if with_missing and n_workers >= 4:
+        profiles[0, rng.integers(N_DOMAINS)] = np.nan  # one missing domain
+        profiles[1, :] = np.nan  # no history at all
+        profiles[2, : N_DOMAINS - 1] = np.nan  # single observed domain
+    tasks = int(rng.integers(5, 40))
+    latent = np.clip(rng.normal(0.65, 0.15, size=n_workers), 0.05, 0.95)
+    correct = rng.binomial(tasks, latent).astype(float)
+    wrong = tasks - correct
+    return profiles, correct, wrong
+
+
+def random_models(rng: np.random.Generator, base: MultivariateNormalModel, n_models: int):
+    """Models at randomly perturbed packed-parameter vectors around ``base``."""
+    theta = base.pack_parameters()
+    thetas = theta[None, :] + rng.normal(0.0, 0.05, size=(n_models, theta.size))
+    return MultivariateNormalModel.unpack_parameter_matrix(thetas, base.dimension), thetas
+
+
+class TestLikelihoodEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_randomized_models_and_patterns(self, seed):
+        rng = np.random.default_rng(seed)
+        estimator = make_estimator(seed=seed)
+        profiles, correct, wrong = random_workload(rng, n_workers=int(rng.integers(4, 40)))
+        base = estimator.initialize(profiles)
+        data = estimator.prepare_round(profiles, correct, wrong)
+        models, _ = random_models(rng, base, n_models=6)
+        for model in models:
+            reference = estimator.log_likelihood(model, profiles, correct, wrong)
+            fast = estimator.log_likelihood_cached(model, data)
+            assert fast == pytest.approx(reference, abs=1e-10, rel=1e-12)
+
+    def test_batch_matches_sequential_evaluation(self):
+        rng = np.random.default_rng(42)
+        estimator = make_estimator(seed=7)
+        profiles, correct, wrong = random_workload(rng, n_workers=25)
+        base = estimator.initialize(profiles)
+        data = estimator.prepare_round(profiles, correct, wrong)
+        models, _ = random_models(rng, base, n_models=12)
+        batch = estimator.log_likelihood_batch(models, data)
+        sequential = [estimator.log_likelihood(m, profiles, correct, wrong) for m in models]
+        np.testing.assert_allclose(batch, sequential, atol=1e-10, rtol=1e-12)
+
+    def test_unpack_moment_stack_identical_to_scalar_unpack(self):
+        rng = np.random.default_rng(3)
+        estimator = make_estimator(seed=3)
+        profiles, _, _ = random_workload(rng, n_workers=10)
+        base = estimator.initialize(profiles)
+        # Include rows that violate positive definiteness so the scalar
+        # projection fallback is exercised too.
+        _, thetas = random_models(rng, base, n_models=8)
+        _, _, rho_slice = MultivariateNormalModel.parameter_slices(DIMENSION)
+        thetas[-1, rho_slice] = 0.999  # all-0.999 correlations: projected
+        means, covariances = MultivariateNormalModel.unpack_moment_stack(thetas, DIMENSION)
+        for index, row in enumerate(thetas):
+            scalar = MultivariateNormalModel.unpack_parameters(row, DIMENSION)
+            np.testing.assert_array_equal(means[index], scalar.mean)
+            np.testing.assert_allclose(covariances[index], scalar.covariance, atol=1e-12)
+
+    def test_validation_matches_reference(self):
+        estimator = make_estimator()
+        profiles = np.full((3, N_DOMAINS), 0.6)
+        estimator.initialize(profiles)
+        with pytest.raises(ValueError):
+            estimator.prepare_round(profiles, np.array([1.0, 2.0]), np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            estimator.prepare_round(profiles, np.array([-1.0, 0.0, 0.0]), np.zeros(3))
+
+
+class TestGradientEquivalence:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_batched_gradient_matches_sequential(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        estimator = make_estimator(seed=seed)
+        profiles, correct, wrong = random_workload(rng, n_workers=15)
+        base = estimator.initialize(profiles)
+        data = estimator.prepare_round(profiles, correct, wrong)
+        theta = base.pack_parameters()
+        mask = np.ones(theta.size, dtype=bool)
+        mask[1] = False  # exercise frozen coordinates as well
+
+        def objective(vector):
+            model = MultivariateNormalModel.unpack_parameters(vector, DIMENSION)
+            return -estimator.log_likelihood(model, profiles, correct, wrong)
+
+        def objective_batch(matrix):
+            models = MultivariateNormalModel.unpack_parameter_matrix(matrix, DIMENSION)
+            return -estimator.log_likelihood_batch(models, data)
+
+        sequential = finite_difference_gradient(objective, theta, step=1e-5, mask=mask)
+        batched = finite_difference_gradient_batch(objective_batch, theta, step=1e-5, mask=mask)
+        np.testing.assert_allclose(batched, sequential, atol=1e-6)
+        assert batched[1] == 0.0
+
+
+class TestUpdateEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_update_produces_same_model(self, seed):
+        rng = np.random.default_rng(200 + seed)
+        profiles, correct, wrong = random_workload(rng, n_workers=20)
+        results = {}
+        for engine in ("reference", "vectorized"):
+            estimator = make_estimator(seed=seed, likelihood_engine=engine, n_epochs=10)
+            estimator.initialize(profiles)
+            estimator.update(profiles, correct, wrong)
+            results[engine] = estimator.model.pack_parameters()
+        np.testing.assert_allclose(results["vectorized"], results["reference"], atol=1e-8)
+
+    def test_predictions_identical_across_engines(self):
+        rng = np.random.default_rng(321)
+        profiles, correct, wrong = random_workload(rng, n_workers=20)
+        predictions = {}
+        for engine in ("reference", "vectorized"):
+            estimator = make_estimator(seed=5, likelihood_engine=engine, n_epochs=8)
+            estimator.initialize(profiles)
+            estimator.update(profiles, correct, wrong)
+            predictions[engine] = estimator.predict(profiles, correct, wrong)
+        np.testing.assert_allclose(predictions["vectorized"], predictions["reference"], atol=1e-8)
+
+
+def _assert_reports_equivalent(fast_report, reference_report):
+    """Identical selections and (float-tolerant) identical report payloads."""
+    fast, reference = fast_report.to_dict(), reference_report.to_dict()
+    assert fast["selected_worker_ids"] == reference["selected_worker_ids"]
+    assert fast["spent_budget"] == reference["spent_budget"]
+    assert fast["n_rounds"] == reference["n_rounds"]
+    fast_events, reference_events = fast.pop("events"), reference.pop("events")
+    assert len(fast_events) == len(reference_events)
+    for fast_event, reference_event in zip(fast_events, reference_events):
+        assert fast_event["worker_ids"] == reference_event["worker_ids"]
+        assert fast_event["survivors"] == reference_event["survivors"]
+        for key in ("observed_accuracies", "cpe_estimates", "lge_estimates"):
+            assert set(fast_event[key]) == set(reference_event[key])
+            for worker_id, value in fast_event[key].items():
+                assert value == pytest.approx(reference_event[key][worker_id], abs=1e-6)
+    for key, value in fast.items():
+        if isinstance(value, float):
+            assert value == pytest.approx(reference[key], abs=1e-6), key
+        elif isinstance(value, dict):
+            for inner_key, inner_value in value.items():
+                assert inner_value == pytest.approx(reference[key][inner_key], abs=1e-6)
+        else:
+            assert value == reference[key], key
+
+
+@pytest.mark.parametrize("dataset", ["S-1", "RW-1"])
+def test_campaign_selections_identical_across_engines(dataset):
+    """Full Campaign.run() on the paper seeds: the refactor changes nothing."""
+    vectorized = Campaign(dataset=dataset, selector="ours", seed=11, cpe_epochs=12).run()
+    reference = Campaign(
+        dataset=dataset, selector="ours", seed=11, cpe_epochs=12, cpe_engine="reference"
+    ).run()
+    _assert_reports_equivalent(vectorized, reference)
+
+
+def test_campaign_default_engine_is_vectorized():
+    campaign = Campaign(dataset="S-1", selector="ours", seed=0)
+    assert campaign._selector._inner._cpe_config.likelihood_engine == "vectorized"

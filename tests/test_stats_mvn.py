@@ -88,6 +88,35 @@ class TestConditional:
         with pytest.raises(ValueError):
             example_model().conditional(np.array([0.5]), [1], 1)
 
+    def test_stacked_batch_matches_per_model_batch(self):
+        base = example_model()
+        rng = np.random.default_rng(0)
+        thetas = base.pack_parameters()[None, :] + rng.normal(0, 0.05, size=(5, 9))
+        models = MultivariateNormalModel.unpack_parameter_matrix(thetas, base.dimension)
+        observations = np.array([[0.75, 0.55], [0.6, 0.7], [0.5, 0.5]])
+        means, covariances = MultivariateNormalModel.stack_moments(models)
+        stacked_means, stacked_vars = MultivariateNormalModel.conditional_batch_stacked(
+            means, covariances, observations, [0, 1], 2
+        )
+        assert stacked_means.shape == (5, 3)
+        for index, model in enumerate(models):
+            single_means, single_var = model.conditional_batch(observations, [0, 1], 2)
+            np.testing.assert_allclose(stacked_means[index], single_means, atol=1e-12)
+            assert stacked_vars[index] == pytest.approx(single_var, abs=1e-12)
+
+    def test_stacked_batch_empty_observation_set(self):
+        model = example_model()
+        means, covariances = MultivariateNormalModel.stack_moments([model, model])
+        stacked_means, stacked_vars = MultivariateNormalModel.conditional_batch_stacked(
+            means, covariances, np.zeros((4, 0)), [], 2
+        )
+        np.testing.assert_allclose(stacked_means, np.full((2, 4), model.mean[2]))
+        np.testing.assert_allclose(stacked_vars, np.full(2, model.covariance[2, 2]))
+
+    def test_stack_moments_requires_models(self):
+        with pytest.raises(ValueError):
+            MultivariateNormalModel.stack_moments([])
+
     def test_conditional_variance_reduces_uncertainty(self):
         model = example_model()
         _, conditional_var = model.conditional(np.array([0.7, 0.6]), [0, 1], 2)

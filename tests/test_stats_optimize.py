@@ -6,9 +6,12 @@ import numpy as np
 import pytest
 
 from repro.stats.optimize import (
+    batch_gradient,
     finite_difference_gradient,
+    finite_difference_gradient_batch,
     gradient_descent,
     minimize_scalar_bounded,
+    perturbation_stack,
 )
 
 
@@ -28,6 +31,63 @@ class TestFiniteDifferenceGradient:
         gradient = finite_difference_gradient(objective, np.array([1.0, 1.0]), mask=np.array([True, False]))
         assert gradient[1] == 0.0
         assert gradient[0] != 0.0
+
+
+class TestFiniteDifferenceGradientBatch:
+    @staticmethod
+    def objective(theta):
+        return float(np.sum(theta**2) + np.prod(theta))
+
+    @classmethod
+    def objective_batch(cls, matrix):
+        return np.array([cls.objective(row) for row in matrix])
+
+    def test_perturbation_stack_layout(self):
+        stack, indices = perturbation_stack(np.array([1.0, 2.0, 3.0]), step=0.5)
+        assert stack.shape == (6, 3)
+        np.testing.assert_array_equal(indices, [0, 1, 2])
+        np.testing.assert_allclose(stack[0], [1.5, 2.0, 3.0])
+        np.testing.assert_allclose(stack[1], [0.5, 2.0, 3.0])
+        np.testing.assert_allclose(stack[4], [1.0, 2.0, 3.5])
+
+    def test_perturbation_stack_respects_mask(self):
+        stack, indices = perturbation_stack(np.zeros(4), step=1.0, mask=np.array([0, 1, 0, 1], bool))
+        assert stack.shape == (4, 4)
+        np.testing.assert_array_equal(indices, [1, 3])
+
+    def test_matches_sequential_gradient(self):
+        point = np.array([1.0, -2.0, 0.5, 3.0])
+        sequential = finite_difference_gradient(self.objective, point)
+        batched = finite_difference_gradient_batch(self.objective_batch, point)
+        np.testing.assert_allclose(batched, sequential, atol=1e-12)
+
+    def test_matches_sequential_with_mask(self):
+        point = np.array([1.0, -2.0, 0.5])
+        mask = np.array([True, False, True])
+        sequential = finite_difference_gradient(self.objective, point, mask=mask)
+        batched = finite_difference_gradient_batch(self.objective_batch, point, mask=mask)
+        np.testing.assert_allclose(batched, sequential, atol=1e-12)
+        assert batched[1] == 0.0
+
+    def test_fully_masked_returns_zero(self):
+        gradient = finite_difference_gradient_batch(
+            self.objective_batch, np.ones(3), mask=np.zeros(3, dtype=bool)
+        )
+        np.testing.assert_array_equal(gradient, np.zeros(3))
+
+    def test_wrong_batch_shape_rejected(self):
+        with pytest.raises(ValueError):
+            finite_difference_gradient_batch(lambda matrix: np.zeros(3), np.ones(2))
+
+    def test_batch_gradient_hook_drives_gradient_descent(self):
+        result = gradient_descent(
+            objective=lambda theta: float(np.sum(theta**2)),
+            initial=np.array([2.0, -3.0]),
+            learning_rates=0.2,
+            n_epochs=100,
+            gradient=batch_gradient(lambda matrix: np.sum(matrix**2, axis=1)),
+        )
+        np.testing.assert_allclose(result.parameters, np.zeros(2), atol=1e-3)
 
 
 class TestGradientDescent:

@@ -37,6 +37,23 @@ class TestRuleConstruction:
         b = unit_interval_rule(64)
         np.testing.assert_allclose(a.nodes, b.nodes)
 
+    def test_same_configuration_shares_one_instance(self):
+        # Sharing the instance is what makes the lazily computed log tables
+        # a one-time cost across all estimators.
+        assert unit_interval_rule(48) is unit_interval_rule(48)
+        assert unit_interval_rule(48) is not unit_interval_rule(32)
+
+    def test_log_tables_match_direct_computation(self):
+        rule = unit_interval_rule(16)
+        np.testing.assert_allclose(rule.log_nodes, np.log(rule.nodes))
+        np.testing.assert_allclose(rule.log_one_minus_nodes, np.log(1.0 - rule.nodes))
+        np.testing.assert_allclose(rule.log_weights, np.log(rule.weights))
+
+    def test_log_tables_are_cached_per_rule(self):
+        rule = unit_interval_rule(16)
+        assert rule.log_nodes is rule.log_nodes
+        assert rule.log_weights is rule.log_weights
+
 
 class TestIntegration:
     def test_polynomial_exact(self):
