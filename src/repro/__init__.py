@@ -70,7 +70,7 @@ from repro.evaluation import compare_selectors, evaluate_selector, ground_truth_
 from repro.platform import AnnotationEnvironment, BudgetSchedule, compute_budget
 from repro.workers import LearningWorker, StaticWorker, WorkerPool, WorkerProfile
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",

@@ -380,7 +380,7 @@ class Campaign:
             estimated_accuracies=dict(result.estimated_accuracies),
             mean_accuracy=outcome.mean_accuracy,
             per_worker_accuracy=dict(outcome.per_worker_accuracy),
-            precision_at_k=precision_at_k(environment, result),
+            precision_at_k=precision_at_k(environment, result, k=self.k),
             ground_truth_accuracy=self._instance.ground_truth_mean_accuracy(self.k),
             spent_budget=result.spent_budget,
             total_budget=self._instance.schedule.total_budget,

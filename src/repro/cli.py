@@ -14,6 +14,10 @@ Run the main results table on the two real-world datasets with 3 repetitions::
 
     repro-crowd table5 --datasets RW-1 RW-2 --repetitions 3
 
+Run the comparison grid over 4 worker processes with a resumable store::
+
+    repro-crowd experiments --datasets S-1 S-2 --n-jobs 4 --store grid.jsonl --resume
+
 Print the dataset statistics (Table II)::
 
     repro-crowd table2
@@ -97,12 +101,61 @@ def build_parser() -> argparse.ArgumentParser:
     artefact_options.add_argument(
         "--at", type=float, default=0.5, help="initial target-domain accuracy a_T (default 0.5)"
     )
+    artefact_options.add_argument(
+        "--n-jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the comparison grid (default 1; results are identical at any value)",
+    )
     for experiment in EXPERIMENTS:
         subparsers.add_parser(
             experiment,
             parents=[artefact_options],
             help=f"regenerate the paper's {experiment.replace('-', ' ')} artefact",
         )
+
+    experiments_parser = subparsers.add_parser(
+        "experiments",
+        parents=[artefact_options],
+        help="run the raw (dataset x method x repetition) comparison grid",
+        description=(
+            "Run the shared comparison protocol directly: every (dataset, "
+            "method, repetition, k, q) work unit is executed — optionally "
+            "sharded over --n-jobs processes — and the per-method mean "
+            "accuracies are printed.  With --store, one JSONL record is "
+            "appended per completed unit so an interrupted sweep can be "
+            "finished later with --resume."
+        ),
+    )
+    experiments_parser.add_argument(
+        "--methods",
+        nargs="+",
+        type=_selector_name,
+        default=None,
+        metavar="NAME",
+        help=f"methods to run (default: the Table V roster); choices: {', '.join(selector_names())}",
+    )
+    experiments_parser.add_argument(
+        "--k", type=int, default=None, help="selection-size override (default: each dataset's k)"
+    )
+    experiments_parser.add_argument(
+        "--q", type=int, default=None, help="per-batch task-count override (default: each dataset's Q)"
+    )
+    experiments_parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="JSONL result store: one atomic record per completed work unit",
+    )
+    experiments_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip work units already recorded in --store (requires --store)",
+    )
+    experiments_parser.add_argument(
+        "--progress", action="store_true", help="print one line per completed work unit to stderr"
+    )
 
     run_parser = subparsers.add_parser(
         "run",
@@ -141,7 +194,49 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         n_repetitions=args.repetitions,
         base_seed=args.seed,
         target_initial_accuracy=args.at,
+        n_jobs=args.n_jobs,
     )
+
+
+def _run_experiments(args: argparse.Namespace) -> int:
+    """The ``repro-crowd experiments`` subcommand: the raw comparison grid."""
+    from repro.experiments import comparison_rows, format_table, run_method_comparison
+    from repro.experiments.runner import WorkUnit
+
+    if args.resume and args.store is None:
+        print("repro-crowd experiments: error: --resume requires --store", file=sys.stderr)
+        return 2
+
+    datasets = args.datasets if args.datasets is not None else list(DATASET_NAMES)
+    methods = args.methods
+
+    def _progress(done: int, total: int, unit: Optional[WorkUnit]) -> None:
+        if unit is None:
+            print(f"resumed: {done}/{total} work units already in {args.store}", file=sys.stderr)
+        else:
+            print(
+                f"[{done}/{total}] {unit.dataset} {unit.method} "
+                f"rep={unit.repetition} k={unit.k} q={unit.q}",
+                file=sys.stderr,
+            )
+
+    try:
+        results = run_method_comparison(
+            datasets,
+            config=_config_from_args(args),
+            methods=methods,
+            k_override=args.k,
+            q_override=args.q,
+            store_path=args.store,
+            resume=args.resume,
+            progress=_progress if args.progress else None,
+        )
+    except ValueError as exc:
+        # Store/config mismatches and bad overrides are user errors.
+        print(f"repro-crowd experiments: error: {exc}", file=sys.stderr)
+        return 2
+    print(format_table(comparison_rows(results, methods=methods)))
+    return 0
 
 
 def _run_campaign(args: argparse.Namespace) -> int:
@@ -206,6 +301,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.experiment == "run":
         return _run_campaign(args)
+    if args.experiment == "experiments":
+        return _run_experiments(args)
 
     # Artefact regeneration commands share ExperimentConfig-shaped options.
     from repro.experiments import (
@@ -222,7 +319,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         run_training_gain,
     )
 
-    config = _config_from_args(args)
+    try:
+        # ExperimentConfig validates n_repetitions / n_jobs eagerly; a bad
+        # value is a user error, not a crash.
+        config = _config_from_args(args)
+    except ValueError as exc:
+        print(f"repro-crowd {args.experiment}: error: {exc}", file=sys.stderr)
+        return 2
     datasets: Optional[List[str]] = args.datasets
 
     if args.experiment == "table2":

@@ -45,12 +45,24 @@ class ExperimentConfig:
         The paper's ``a_T`` (0.5 by default; Figure 5 sweeps it).
     cpe_epochs:
         Gradient-descent epochs per CPE update (the paper's ``G = 50``).
+    n_jobs:
+        Worker processes for the comparison grid (1 = in-process serial).
+        Every work unit derives its own seeds from the full
+        ``(dataset, method, repetition, k, q)`` key, so ``n_jobs > 1``
+        produces results identical to the serial run.
     """
 
     n_repetitions: int = 3
     base_seed: int = 7
     target_initial_accuracy: float = 0.5
     cpe_epochs: int = 50
+    n_jobs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_repetitions <= 0:
+            raise ValueError("n_repetitions must be positive")
+        if self.n_jobs <= 0:
+            raise ValueError("n_jobs must be positive")
 
     def cpe_config(self) -> CPEConfig:
         """CPE configuration implied by this experiment configuration."""

@@ -8,6 +8,7 @@ full training schedule.
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 from repro.core.selector import SelectionResult
@@ -25,9 +26,17 @@ def selection_accuracy(
 
 
 def relative_improvement(ours: float, baseline: float) -> float:
-    """Relative improvement ``(ours - baseline) / baseline`` (the paper's "x% up" numbers)."""
-    if baseline <= 0:
-        raise ValueError("baseline accuracy must be positive")
+    """Relative improvement ``(ours - baseline) / baseline`` (the paper's "x% up" numbers).
+
+    The ratio is undefined for a non-positive or non-finite baseline; NaN is
+    returned in that case (IEEE convention) so that partially populated
+    sweep tables render instead of aborting mid-report.  Callers that want a
+    hard failure should check ``math.isfinite`` on the result.  This is the
+    single implementation shared with
+    :meth:`repro.experiments.runner.DatasetResult.relative_improvement`.
+    """
+    if not math.isfinite(baseline) or baseline <= 0:
+        return float("nan")
     return (ours - baseline) / baseline
 
 
@@ -41,13 +50,19 @@ def regret(environment: AnnotationEnvironment, result: SelectionResult, k: int |
 
 
 def precision_at_k(environment: AnnotationEnvironment, result: SelectionResult, k: int | None = None) -> float:
-    """Fraction of the selected workers that belong to the ground-truth top-k set."""
+    """Fraction of the ground-truth top-``k`` workers that the selection recovered.
+
+    The denominator is ``k`` itself (falling back to the selection size only
+    when no ``k`` is given), so a method that returns *fewer* than ``k``
+    workers is penalised for the missing slots instead of being graded on
+    the shorter list it chose to return.
+    """
     resolved_k = k if k is not None else len(result.selected_worker_ids)
+    if resolved_k <= 0:
+        raise ValueError("k must be positive (the selection is empty and no explicit k was given)")
     ground_truth_ids = set(environment.ground_truth_top_k(resolved_k))
-    if not result.selected_worker_ids:
-        raise ValueError("the selection result is empty")
     overlap = sum(1 for worker_id in result.selected_worker_ids if worker_id in ground_truth_ids)
-    return overlap / len(result.selected_worker_ids)
+    return overlap / resolved_k
 
 
 def mean_of(values: Sequence[float]) -> float:

@@ -21,8 +21,15 @@ from repro.experiments.correlation import run_correlation_recovery
 from repro.experiments.figure5 import run_figure5
 from repro.experiments.figure6 import run_figure6
 from repro.experiments.figure7 import run_figure7
-from repro.experiments.report import format_table, results_to_markdown
-from repro.experiments.runner import DatasetResult, run_method_comparison
+from repro.experiments.report import comparison_rows, format_table, results_to_markdown
+from repro.experiments.runner import (
+    DatasetResult,
+    WorkUnit,
+    execute_work_unit,
+    plan_work_units,
+    run_method_comparison,
+)
+from repro.experiments.store import ResultStore
 from repro.experiments.runtime import run_runtime
 from repro.experiments.table2 import run_table2
 from repro.experiments.table4 import run_table4
@@ -31,7 +38,12 @@ from repro.experiments.training_gain import run_training_gain
 
 __all__ = [
     "DatasetResult",
+    "WorkUnit",
+    "ResultStore",
+    "plan_work_units",
+    "execute_work_unit",
     "run_method_comparison",
+    "comparison_rows",
     "run_table2",
     "run_table4",
     "run_table5",

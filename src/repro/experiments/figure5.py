@@ -9,6 +9,7 @@ proposed method only (as in the paper).
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.config import ExperimentConfig
@@ -34,12 +35,9 @@ def run_figure5(
     for at_value in at_values:
         if not 0.0 < at_value < 1.0:
             raise ValueError(f"a_T values must lie in (0, 1), got {at_value}")
-        swept_config = ExperimentConfig(
-            n_repetitions=base_config.n_repetitions,
-            base_seed=base_config.base_seed,
-            target_initial_accuracy=float(at_value),
-            cpe_epochs=base_config.cpe_epochs,
-        )
+        # dataclasses.replace keeps every other knob — notably n_jobs — so a
+        # parallel configuration stays parallel across the sweep.
+        swept_config = replace(base_config, target_initial_accuracy=float(at_value))
         results = run_method_comparison(names, config=swept_config, methods=["ours"])
         row: Dict[str, object] = {"a_T": float(at_value)}
         for dataset in names:

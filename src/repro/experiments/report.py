@@ -41,6 +41,31 @@ def _format_cell(value: object) -> str:
     return str(value)
 
 
+def comparison_rows(
+    results: Dict[str, DatasetResult], methods: Optional[Sequence[str]] = None
+) -> List[Dict[str, object]]:
+    """Flatten comparison results into printable rows (one per method).
+
+    ``methods`` restricts and orders the rows (default: the full Table V
+    roster), so partial grids — e.g. a ``repro-crowd experiments`` run over
+    two methods — render without NaN-filled rows for methods never run.
+    The ground-truth row always comes last.
+    """
+    method_list = list(methods) if methods is not None else list(METHOD_ORDER)
+    datasets = list(results.keys())
+    rows: List[Dict[str, object]] = []
+    for method in method_list:
+        row: Dict[str, object] = {"method": method}
+        for dataset in datasets:
+            row[dataset] = results[dataset].mean_accuracy(method)
+        rows.append(row)
+    ground_truth: Dict[str, object] = {"method": "ground-truth"}
+    for dataset in datasets:
+        ground_truth[dataset] = results[dataset].ground_truth
+    rows.append(ground_truth)
+    return rows
+
+
 def results_to_markdown(results: Dict[str, DatasetResult], reference_method: str = "ours") -> str:
     """Render a Table V-style markdown block from comparison results.
 
@@ -68,4 +93,4 @@ def results_to_markdown(results: Dict[str, DatasetResult], reference_method: str
     return format_table(rows, columns=["Method", *dataset_names])
 
 
-__all__ = ["format_table", "results_to_markdown"]
+__all__ = ["comparison_rows", "format_table", "results_to_markdown"]

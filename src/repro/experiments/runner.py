@@ -8,25 +8,57 @@ shared protocol:
   bank) so results average over both the pool draw and the answer noise —
   the relevant population-level claim, since a single 40-worker pool is a
   high-variance object;
-* within a repetition every method faces the same environment seed, so the
-  comparison is paired;
+* within a repetition every method faces the same instance and environment
+  seeds, so the comparison is paired;
 * the ground-truth row is the mean final accuracy of the true top-``k``
   workers of each drawn pool.
+
+The grid is embarrassingly parallel: it decomposes into self-contained
+**work units** keyed by ``(dataset, method, repetition, k, q)``, each of
+which derives every random stream it needs from that full key via
+:func:`repro.stats.rng.work_unit_seed` — no loop index ever reaches a
+generator, so units are independent of execution order and host process.
+``n_jobs > 1`` shards the pending units over a ``ProcessPoolExecutor`` and
+produces **bit-identical** accuracies, precisions and ground truths to the
+serial run (wall-clock ``runtime_s`` per unit is measured either way, but
+timing is inherently non-deterministic).
+
+A :class:`~repro.experiments.store.ResultStore` can persist one JSONL
+record per completed unit so long sweeps survive interruption; resuming
+skips completed keys and re-aggregates to the exact full-run result.
 """
 
 from __future__ import annotations
 
 import time
+import zlib
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.config import ExperimentConfig
 from repro.datasets.base import DatasetSpec
 from repro.datasets.registry import get_spec
-from repro.evaluation.metrics import precision_at_k, selection_accuracy
-from repro.stats.rng import derive_seed
+from repro.evaluation.metrics import (
+    precision_at_k,
+    relative_improvement,
+    selection_accuracy,
+)
+from repro.experiments.store import (
+    FINGERPRINT_FIELDS,
+    RECORD_SCHEMA_VERSION,
+    ResultStore,
+    UnitKey,
+    record_key,
+)
+from repro.stats.rng import work_unit_seed
+
+#: Progress callback: ``(completed_units, total_units, unit_or_None)``.
+#: Invoked once up front when resumed units are skipped (``unit=None``) and
+#: once per freshly executed unit.
+ProgressCallback = Callable[[int, int, Optional["WorkUnit"]], None]
 
 
 @dataclass
@@ -58,11 +90,192 @@ class DatasetResult:
         return float(np.mean(self.ground_truths)) if self.ground_truths else float("nan")
 
     def relative_improvement(self, method: str, baseline: str) -> float:
-        """Relative uplift of ``method`` over ``baseline`` (the paper's percentages)."""
-        base = self.mean_accuracy(baseline)
-        if not np.isfinite(base) or base <= 0:
-            return float("nan")
-        return (self.mean_accuracy(method) - base) / base
+        """Relative uplift of ``method`` over ``baseline`` (the paper's percentages).
+
+        Delegates to :func:`repro.evaluation.metrics.relative_improvement`,
+        the single shared implementation (NaN when the baseline is
+        non-positive or non-finite).
+        """
+        return relative_improvement(self.mean_accuracy(method), self.mean_accuracy(baseline))
+
+
+# --------------------------------------------------------------------- #
+# Work units
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class WorkUnit:
+    """One self-contained cell of the comparison grid.
+
+    ``k`` and ``q`` are the *resolved* selection size and per-batch task
+    count (dataset defaults or sweep overrides), so the key alone fully
+    determines every random stream the cell consumes.
+    """
+
+    dataset: str
+    method: str
+    repetition: int
+    k: int
+    q: int
+
+    @property
+    def key(self) -> UnitKey:
+        return (self.dataset, self.method, self.repetition, self.k, self.q)
+
+    def seeds(self, base_seed: int) -> Dict[str, int]:
+        """The unit's three derived streams (see :func:`work_unit_seed`)."""
+        shared = dict(dataset=self.dataset, repetition=self.repetition, k=self.k, q=self.q)
+        return {
+            "instance_seed": work_unit_seed(base_seed, "instance", **shared),
+            "environment_seed": work_unit_seed(base_seed, "environment", **shared),
+            "selector_seed": work_unit_seed(base_seed, "selector", method=self.method, **shared),
+        }
+
+
+def _resolve_grid(
+    dataset_names: Sequence[str],
+    k_override: Optional[int],
+    q_override: Optional[int],
+    specs: Optional[Mapping[str, DatasetSpec]],
+) -> List[Tuple[str, DatasetSpec, int, int]]:
+    """Per-dataset ``(name, q-adjusted spec, resolved_k, resolved_q)`` rows."""
+    grid: List[Tuple[str, DatasetSpec, int, int]] = []
+    for dataset_name in dataset_names:
+        spec = specs[dataset_name] if specs and dataset_name in specs else get_spec(dataset_name)
+        resolved_k = k_override if k_override is not None else spec.k
+        resolved_q = q_override if q_override is not None else spec.tasks_per_batch
+        if q_override is not None:
+            spec = spec.with_overrides(tasks_per_batch=q_override)
+        grid.append((dataset_name, spec, resolved_k, resolved_q))
+    return grid
+
+
+def _resolve_methods(config: ExperimentConfig, methods: Optional[List[str]]) -> List[str]:
+    """Validate the roster via the registry and fix the shared method order."""
+    method_list = list(config.selector_factories(methods))
+    if not method_list:
+        raise ValueError("at least one method is required")
+    return method_list
+
+
+def _plan_from_grid(
+    grid: Sequence[Tuple[str, DatasetSpec, int, int]],
+    method_list: Sequence[str],
+    n_repetitions: int,
+) -> List[WorkUnit]:
+    """Expand a resolved grid into the ordered work-unit plan.
+
+    The dataset -> repetition -> method order here is the one
+    :func:`_aggregate` walks; planning and aggregation must share it.
+    """
+    return [
+        WorkUnit(dataset=name, method=method, repetition=repetition, k=resolved_k, q=resolved_q)
+        for name, _, resolved_k, resolved_q in grid
+        for repetition in range(n_repetitions)
+        for method in method_list
+    ]
+
+
+def plan_work_units(
+    dataset_names: Sequence[str],
+    config: Optional[ExperimentConfig] = None,
+    methods: Optional[List[str]] = None,
+    k_override: Optional[int] = None,
+    q_override: Optional[int] = None,
+    specs: Optional[Mapping[str, DatasetSpec]] = None,
+) -> List[WorkUnit]:
+    """The full, ordered work-unit decomposition of a comparison run."""
+    config = config or ExperimentConfig()
+    method_list = _resolve_methods(config, methods)
+    grid = _resolve_grid(dataset_names, k_override, q_override, specs)
+    return _plan_from_grid(grid, method_list, config.n_repetitions)
+
+
+def execute_work_unit(unit: WorkUnit, spec: DatasetSpec, config: ExperimentConfig) -> Dict[str, object]:
+    """Run one ``(dataset, method, repetition, k, q)`` cell to a result record.
+
+    Pure function of its arguments: the instance draw, the environment's
+    answer noise and the selector's exploration stream are all derived from
+    the unit key, so the same unit yields the same record in any process.
+    """
+    seeds = unit.seeds(config.base_seed)
+    instance = spec.instantiate(seed=seeds["instance_seed"], k=unit.k)
+    ground_truth = instance.ground_truth_mean_accuracy(unit.k)
+    selector = config.make_selector(unit.method, seed=seeds["selector_seed"])
+    environment = instance.environment(run_seed=seeds["environment_seed"])
+    start = time.perf_counter()
+    selection = selector.select(environment, k=unit.k)
+    elapsed = time.perf_counter() - start
+    return {
+        "schema_version": RECORD_SCHEMA_VERSION,
+        "dataset": unit.dataset,
+        "method": unit.method,
+        "repetition": unit.repetition,
+        "k": unit.k,
+        "q": unit.q,
+        **_config_fingerprint(config),
+        "spec_digest": _spec_digest(spec),
+        **seeds,
+        "accuracy": selection_accuracy(environment, selection),
+        "precision": precision_at_k(environment, selection, k=unit.k),
+        "runtime_s": elapsed,
+        "ground_truth": ground_truth,
+    }
+
+
+def _execute_payload(payload: Tuple[WorkUnit, DatasetSpec, ExperimentConfig]) -> Dict[str, object]:
+    """Module-level pool entry point (instances and lambdas do not pickle)."""
+    unit, spec, config = payload
+    return execute_work_unit(unit, spec, config)
+
+
+def _config_fingerprint(config: ExperimentConfig) -> Dict[str, object]:
+    """The config fields that determine a record's numbers.
+
+    Built from :data:`~repro.experiments.store.FINGERPRINT_FIELDS` — the one
+    list shared with record stamping and resume validation — so adding a
+    result-determining knob there automatically propagates everywhere.
+    """
+    return {field: getattr(config, field) for field in FINGERPRINT_FIELDS}
+
+
+def _spec_digest(spec: DatasetSpec) -> int:
+    """Stable digest of a dataset spec's result-determining content.
+
+    The ``specs=`` hook lets ablation benchmarks swap in modified
+    populations under an unchanged dataset name, so the unit key and the
+    config fingerprint alone cannot tell two populations apart; the digest
+    is stamped into every record and checked on resume.
+    """
+    return zlib.crc32(repr(spec).encode("utf-8")) & 0xFFFFFFFF
+
+
+def _aggregate(
+    grid: Sequence[Tuple[str, DatasetSpec, int, int]],
+    method_list: Sequence[str],
+    n_repetitions: int,
+    records: Mapping[UnitKey, Mapping[str, object]],
+) -> Dict[str, DatasetResult]:
+    """Assemble per-dataset results in the deterministic plan order.
+
+    Execution (and resume) may complete units in any order; aggregation
+    always walks dataset -> repetition -> method, so serial, parallel and
+    resumed runs produce identical structures.
+    """
+    results: Dict[str, DatasetResult] = {}
+    for dataset_name, _, resolved_k, resolved_q in grid:
+        result = DatasetResult(dataset=dataset_name, k=resolved_k, tasks_per_batch=resolved_q)
+        for repetition in range(n_repetitions):
+            first_key = (dataset_name, method_list[0], repetition, resolved_k, resolved_q)
+            # Every method of a repetition recomputes the same instance-level
+            # ground truth; record it once, from the first planned method.
+            result.ground_truths.append(float(records[first_key]["ground_truth"]))  # type: ignore[arg-type]
+            for method in method_list:
+                record = records[(dataset_name, method, repetition, resolved_k, resolved_q)]
+                result.method_accuracies.setdefault(method, []).append(float(record["accuracy"]))  # type: ignore[arg-type]
+                result.method_precisions.setdefault(method, []).append(float(record["precision"]))  # type: ignore[arg-type]
+                result.method_runtimes.setdefault(method, []).append(float(record["runtime_s"]))  # type: ignore[arg-type]
+        results[dataset_name] = result
+    return results
 
 
 def run_method_comparison(
@@ -72,6 +285,10 @@ def run_method_comparison(
     k_override: Optional[int] = None,
     q_override: Optional[int] = None,
     specs: Optional[Dict[str, DatasetSpec]] = None,
+    n_jobs: Optional[int] = None,
+    store_path: Optional[str] = None,
+    resume: bool = False,
+    progress: Optional[ProgressCallback] = None,
 ) -> Dict[str, DatasetResult]:
     """Run the shared comparison protocol on the named datasets.
 
@@ -91,41 +308,87 @@ def run_method_comparison(
         Optional pre-built specs keyed by dataset name (used by ablation
         benchmarks that modify the population); unnamed datasets fall back
         to the registry.
+    n_jobs:
+        Worker processes; ``None`` defers to ``config.n_jobs``.  Any value
+        produces bit-identical accuracies/precisions/ground truths.
+    store_path:
+        Optional JSONL result store.  Without ``resume`` an existing file is
+        dropped and the run starts fresh.
+    resume:
+        Skip work units already recorded in ``store_path`` (requires it);
+        the store's configuration fingerprint must match ``config``.
+    progress:
+        Optional ``(done, total, unit)`` callback; see
+        :data:`ProgressCallback`.
     """
     config = config or ExperimentConfig()
-    # Registry-backed factories: validates the requested methods eagerly and
-    # keeps one construction path shared with every other consumer.
-    factories = config.selector_factories(methods)
-    results: Dict[str, DatasetResult] = {}
+    method_list = _resolve_methods(config, methods)
+    resolved_jobs = n_jobs if n_jobs is not None else config.n_jobs
+    if resolved_jobs <= 0:
+        raise ValueError("n_jobs must be positive")
+    if resume and store_path is None:
+        raise ValueError("resume=True requires a store_path")
 
-    for dataset_name in dataset_names:
-        spec = specs[dataset_name] if specs and dataset_name in specs else get_spec(dataset_name)
-        resolved_k = k_override if k_override is not None else spec.k
-        resolved_q = q_override if q_override is not None else spec.tasks_per_batch
-        if q_override is not None:
-            spec = spec.with_overrides(tasks_per_batch=q_override)
-        result = DatasetResult(dataset=dataset_name, k=resolved_k, tasks_per_batch=resolved_q)
+    grid = _resolve_grid(dataset_names, k_override, q_override, specs)
+    spec_by_dataset = {name: spec for name, spec, _, _ in grid}
+    plan = _plan_from_grid(grid, method_list, config.n_repetitions)
+    plan_keys = {unit.key for unit in plan}
 
-        for repetition in range(config.n_repetitions):
-            instance_seed = derive_seed(config.base_seed, dataset_name, "instance", repetition, resolved_k, resolved_q)
-            instance = spec.instantiate(seed=instance_seed, k=k_override)
-            result.ground_truths.append(instance.ground_truth_mean_accuracy(resolved_k))
+    store = ResultStore(store_path) if store_path is not None else None
+    records: Dict[UnitKey, Mapping[str, object]] = {}
+    if store is not None:
+        if resume:
+            stored = store.completed(fingerprint=_config_fingerprint(config))
+            # Records outside the requested grid (e.g. a store shared across
+            # sweeps) are simply ignored, not errors.
+            records = {key: rec for key, rec in stored.items() if key in plan_keys}
+            for key, rec in records.items():
+                expected = _spec_digest(spec_by_dataset[key[0]])
+                if rec.get("spec_digest") != expected:
+                    raise ValueError(
+                        f"{store.path}: stored record for dataset {key[0]!r} was computed on a "
+                        "different population (spec digest mismatch); refusing to resume — the "
+                        "specs= override changed since the store was written"
+                    )
+        else:
+            store.reset()
 
-            for method_name, factory in factories.items():
-                selector_seed = derive_seed(config.base_seed, dataset_name, method_name, repetition)
-                selector = factory(selector_seed)
-                environment = instance.environment(run_seed=repetition)
-                start = time.perf_counter()
-                selection = selector.select(environment, k=k_override)
-                elapsed = time.perf_counter() - start
-                accuracy = selection_accuracy(environment, selection)
-                precision = precision_at_k(environment, selection, k=resolved_k)
-                result.method_accuracies.setdefault(method_name, []).append(accuracy)
-                result.method_precisions.setdefault(method_name, []).append(precision)
-                result.method_runtimes.setdefault(method_name, []).append(elapsed)
+    pending = [unit for unit in plan if unit.key not in records]
+    total = len(plan)
+    done = total - len(pending)
+    if progress is not None and done:
+        progress(done, total, None)
 
-        results[dataset_name] = result
-    return results
+    def _complete(unit: WorkUnit, record: Dict[str, object]) -> None:
+        nonlocal done
+        records[record_key(record)] = record
+        if store is not None:
+            store.append(record)
+        done += 1
+        if progress is not None:
+            progress(done, total, unit)
+
+    if resolved_jobs == 1 or len(pending) <= 1:
+        for unit in pending:
+            _complete(unit, execute_work_unit(unit, spec_by_dataset[unit.dataset], config))
+    else:
+        max_workers = min(resolved_jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {
+                pool.submit(_execute_payload, (unit, spec_by_dataset[unit.dataset], config)): unit
+                for unit in pending
+            }
+            for future in as_completed(futures):
+                _complete(futures[future], future.result())
+
+    return _aggregate(grid, method_list, config.n_repetitions, records)
 
 
-__all__ = ["DatasetResult", "run_method_comparison"]
+__all__ = [
+    "DatasetResult",
+    "WorkUnit",
+    "ProgressCallback",
+    "plan_work_units",
+    "execute_work_unit",
+    "run_method_comparison",
+]

@@ -1,0 +1,182 @@
+"""Resumable JSONL result store for the parallel experiment runner.
+
+Long sweeps (the full Table V grid, the Figure 6/7 sensitivity fans) run for
+minutes to hours; losing a half-finished grid to a crash or a pre-empted
+container wastes every completed cell.  The store persists one JSON record
+per completed work unit — keyed by ``(dataset, method, repetition, k, q)`` —
+so an interrupted run can be resumed with ``--resume`` and only the missing
+units are executed.
+
+Design constraints:
+
+* **Atomic, append-only writes.**  Every record is one ``\\n``-terminated
+  line written with a single ``write`` call and flushed to disk, so a crash
+  can corrupt at most the trailing line.  :meth:`ResultStore.load_records`
+  therefore tolerates exactly one undecodable *final* line (the interrupted
+  write) and rejects corruption anywhere else.
+* **Fingerprinted runs.**  Each record embeds the experiment-configuration
+  fields that determine the numbers (``base_seed``, ``target_initial_accuracy``,
+  ``cpe_epochs``).  Resuming against a store written under a different
+  configuration raises instead of silently mixing incompatible grids.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple
+
+#: Version stamp embedded in every record; bump on incompatible layout changes.
+RECORD_SCHEMA_VERSION = 1
+
+#: Fields that identify a work unit within one run.
+KEY_FIELDS = ("dataset", "method", "repetition", "k", "q")
+
+#: Configuration fields that must match between a store and a resuming run.
+FINGERPRINT_FIELDS = ("base_seed", "target_initial_accuracy", "cpe_epochs")
+
+UnitKey = Tuple[str, str, int, int, int]
+
+
+def record_key(record: Mapping[str, object]) -> UnitKey:
+    """The ``(dataset, method, repetition, k, q)`` key of a stored record."""
+    return (
+        str(record["dataset"]),
+        str(record["method"]),
+        int(record["repetition"]),  # type: ignore[arg-type]
+        int(record["k"]),  # type: ignore[arg-type]
+        int(record["q"]),  # type: ignore[arg-type]
+    )
+
+
+class ResultStore:
+    """One JSONL file holding completed work-unit records."""
+
+    def __init__(self, path: os.PathLike) -> None:
+        self.path = Path(path)
+        self._append_checked = False
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def reset(self) -> None:
+        """Start a fresh run: drop any previous records."""
+        if self.path.exists():
+            self.path.unlink()
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    def load_records(self) -> List[Dict[str, object]]:
+        """All decodable records, tolerating one interrupted trailing line.
+
+        Raises
+        ------
+        ValueError
+            If a malformed line is followed by well-formed ones (the file
+            was corrupted by something other than an interrupted append) or
+            a record misses key fields.
+        """
+        if not self.path.exists():
+            return []
+        records: List[Dict[str, object]] = []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        for index, line in enumerate(lines):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                record = json.loads(stripped)
+            except json.JSONDecodeError:
+                if index == len(lines) - 1:
+                    # The classic interruption artefact: a partial last line.
+                    break
+                raise ValueError(
+                    f"{self.path}: malformed record on line {index + 1} "
+                    "(not the final line, so this is not an interrupted append)"
+                )
+            if not isinstance(record, dict) or any(field not in record for field in KEY_FIELDS):
+                raise ValueError(f"{self.path}: line {index + 1} is not a work-unit record")
+            if record.get("schema_version") != RECORD_SCHEMA_VERSION:
+                raise ValueError(
+                    f"{self.path}: line {index + 1} has schema_version="
+                    f"{record.get('schema_version')!r} but this version of the store reads "
+                    f"{RECORD_SCHEMA_VERSION}; refusing to mix record layouts"
+                )
+            records.append(record)
+        return records
+
+    def completed(
+        self, fingerprint: Optional[Mapping[str, object]] = None
+    ) -> Dict[UnitKey, Dict[str, object]]:
+        """Completed records keyed by work unit, last write winning.
+
+        When ``fingerprint`` is given, every record must carry the same
+        configuration fingerprint; a mismatch raises ``ValueError`` so a
+        resume can never mix numbers from two different experiment
+        configurations.
+        """
+        completed: Dict[UnitKey, Dict[str, object]] = {}
+        for record in self.load_records():
+            if fingerprint is not None:
+                # Every FINGERPRINT_FIELDS entry is checked unconditionally: a
+                # partial fingerprint would silently skip validation, so the
+                # caller must supply all fields (config_fingerprint does).
+                for field in FINGERPRINT_FIELDS:
+                    if record.get(field) != fingerprint.get(field):
+                        raise ValueError(
+                            f"{self.path}: stored record has {field}={record.get(field)!r} but the "
+                            f"current run uses {field}={fingerprint.get(field)!r}; refusing to "
+                            "resume a store written under a different experiment configuration"
+                        )
+            completed[record_key(record)] = record
+        return completed
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+    def _drop_interrupted_trailing_line(self) -> None:
+        """Truncate a partial final line left behind by an interrupted append.
+
+        Every record is written with a trailing newline, so a file that does
+        not end in one holds an incomplete last line.  Appending after it
+        would merge the next record into the partial text — losing both and
+        poisoning the store for later resumes — so the partial line is cut
+        back to the last completed record first.  Only a *previous* process
+        can leave such a line, so the check runs once per store instance and
+        touches at most the final byte plus the torn tail.
+        """
+        if not self.path.exists():
+            return
+        with open(self.path, "rb") as handle:
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+            if size == 0:
+                return
+            handle.seek(size - 1)
+            if handle.read(1) == b"\n":
+                return
+            handle.seek(0)
+            raw = handle.read()
+        keep = raw.rfind(b"\n") + 1  # 0 when no newline at all: drop everything
+        with open(self.path, "r+b") as handle:
+            handle.truncate(keep)
+
+    def append(self, record: Mapping[str, object]) -> None:
+        """Durably append one completed work-unit record."""
+        payload = dict(record)
+        payload.setdefault("schema_version", RECORD_SCHEMA_VERSION)
+        line = json.dumps(payload, sort_keys=True) + "\n"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if not self._append_checked:
+            self._drop_interrupted_trailing_line()
+            self._append_checked = True
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+
+__all__ = ["ResultStore", "record_key", "RECORD_SCHEMA_VERSION", "KEY_FIELDS", "FINGERPRINT_FIELDS", "UnitKey"]

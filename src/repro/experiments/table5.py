@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.config import ExperimentConfig, METHOD_ORDER
 from repro.datasets.registry import DATASET_NAMES
+from repro.experiments.report import comparison_rows
 from repro.experiments.runner import DatasetResult, run_method_comparison
 
 #: Accuracies printed in the paper's Table V (for EXPERIMENTS.md comparison).
@@ -37,18 +38,7 @@ def run_table5(
 
 def table5_rows(results: Dict[str, DatasetResult]) -> List[Dict[str, object]]:
     """Flatten comparison results into printable rows (one per method)."""
-    rows: List[Dict[str, object]] = []
-    datasets = list(results.keys())
-    for method in METHOD_ORDER:
-        row: Dict[str, object] = {"method": method}
-        for dataset in datasets:
-            row[dataset] = results[dataset].mean_accuracy(method)
-        rows.append(row)
-    ground_truth: Dict[str, object] = {"method": "ground-truth"}
-    for dataset in datasets:
-        ground_truth[dataset] = results[dataset].ground_truth
-    rows.append(ground_truth)
-    return rows
+    return comparison_rows(results, methods=METHOD_ORDER)
 
 
 __all__ = ["run_table5", "table5_rows", "PAPER_TABLE_V"]

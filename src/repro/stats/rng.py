@@ -9,7 +9,7 @@ mixing the legacy global ``numpy.random`` state with new-style generators.
 from __future__ import annotations
 
 import zlib
-from typing import List, Union
+from typing import List, Optional, Union
 
 import numpy as np
 
@@ -76,4 +76,48 @@ def derive_seed(seed: SeedLike, *tokens: object) -> int:
     return int(mixed.generate_state(1)[0])
 
 
-__all__ = ["SeedLike", "as_generator", "spawn_generators", "derive_seed"]
+def work_unit_seed(
+    base_seed: SeedLike,
+    stream: str,
+    *,
+    dataset: str,
+    repetition: int,
+    k: int,
+    q: int,
+    method: Optional[str] = None,
+) -> int:
+    """Canonical seed for one random stream of an experiment work unit.
+
+    A work unit is one ``(dataset, method, repetition, k, q)`` cell of the
+    comparison grid.  Each cell consumes three independent streams:
+
+    ``"instance"``
+        The worker-pool / task-bank draw.  Shared by every method of the
+        same ``(dataset, repetition, k, q)`` so the comparison is paired.
+    ``"environment"``
+        The answer noise of the annotation environment.  Also shared across
+        methods (``method`` must be ``None``) — every method faces the same
+        golden-question outcomes.
+    ``"selector"``
+        The method-private exploration stream (``method`` is required).
+
+    Every stream mixes the *full* unit key — including ``k`` and ``q`` — so
+    sweep points (Figures 6–7) never reuse each other's randomness, and no
+    raw loop index ever reaches a generator.
+    """
+    if stream == "selector":
+        if method is None:
+            raise ValueError("the 'selector' stream requires a method name")
+    elif stream in ("instance", "environment"):
+        if method is not None:
+            raise ValueError(f"the {stream!r} stream is shared across methods; method must be None")
+    else:
+        raise ValueError(f"unknown work-unit stream {stream!r}")
+    tokens: List[object] = [dataset]
+    if method is not None:
+        tokens.append(method)
+    tokens.extend([stream, repetition, int(k), int(q)])
+    return derive_seed(base_seed, *tokens)
+
+
+__all__ = ["SeedLike", "as_generator", "spawn_generators", "derive_seed", "work_unit_seed"]

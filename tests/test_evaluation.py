@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 import pytest
 
@@ -25,8 +27,13 @@ class TestMetrics:
 
     def test_relative_improvement(self):
         assert relative_improvement(0.88, 0.8) == pytest.approx(0.1)
-        with pytest.raises(ValueError):
-            relative_improvement(0.5, 0.0)
+
+    def test_relative_improvement_undefined_baseline_is_nan(self):
+        # The ratio is undefined below a positive baseline; the shared
+        # implementation returns NaN (not an exception) so partial tables render.
+        assert math.isnan(relative_improvement(0.5, 0.0))
+        assert math.isnan(relative_improvement(0.5, -0.1))
+        assert math.isnan(relative_improvement(0.5, float("nan")))
 
     def test_regret_zero_for_oracle(self, static_environment):
         result = OracleSelector().select(static_environment)
@@ -41,6 +48,15 @@ class TestMetrics:
         half = SelectionResult(method="manual", selected_worker_ids=["static-0", "static-4"])
         assert precision_at_k(static_environment, perfect) == 1.0
         assert precision_at_k(static_environment, half) == 0.5
+
+    def test_precision_at_k_undersized_selection_not_inflated(self, static_environment):
+        # Regression: a method that returns fewer than k workers used to be
+        # graded on its shorter list (1 hit / 1 selected = 1.0); the
+        # denominator is k, so the missing slots count against it.
+        undersized = SelectionResult(method="manual", selected_worker_ids=["static-0"])
+        assert precision_at_k(static_environment, undersized, k=4) == pytest.approx(0.25)
+        mixed = SelectionResult(method="manual", selected_worker_ids=["static-0", "static-4"])
+        assert precision_at_k(static_environment, mixed, k=4) == pytest.approx(0.25)
 
     def test_mean_of(self):
         assert mean_of([1.0, 2.0, 3.0]) == 2.0

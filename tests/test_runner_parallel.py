@@ -1,0 +1,280 @@
+"""Tests for the sharded experiment runner, its seed derivation and the result store."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.config import ExperimentConfig
+from repro.datasets.synthetic import synthetic_spec
+from repro.experiments.runner import (
+    DatasetResult,
+    WorkUnit,
+    execute_work_unit,
+    plan_work_units,
+    run_method_comparison,
+)
+from repro.experiments.store import ResultStore
+from repro.stats.rng import work_unit_seed
+
+# Cheap methods + tiny pool: the whole grid runs in well under a second.
+FAST_CONFIG = ExperimentConfig(n_repetitions=3, base_seed=11, cpe_epochs=2)
+TINY_SPECS = {"tiny": synthetic_spec("tiny", n_workers=10, tasks_per_batch=4, k=3)}
+METHODS = ["us", "me"]
+
+
+def _run(**overrides):
+    kwargs = dict(config=FAST_CONFIG, methods=METHODS, specs=TINY_SPECS)
+    kwargs.update(overrides)
+    return run_method_comparison(["tiny"], **kwargs)
+
+
+def _deterministic_view(result: DatasetResult):
+    """Everything except wall-clock runtimes, which are never reproducible."""
+    return (
+        result.dataset,
+        result.k,
+        result.tasks_per_batch,
+        result.method_accuracies,
+        result.method_precisions,
+        result.ground_truths,
+    )
+
+
+class TestWorkUnitSeeds:
+    def test_plan_shape_and_order(self):
+        plan = plan_work_units(["tiny"], config=FAST_CONFIG, methods=METHODS, specs=TINY_SPECS)
+        assert len(plan) == FAST_CONFIG.n_repetitions * len(METHODS)
+        assert plan[0] == WorkUnit(dataset="tiny", method="us", repetition=0, k=3, q=4)
+        assert {unit.repetition for unit in plan} == {0, 1, 2}
+
+    def test_selector_seed_varies_with_k_and_q(self):
+        # Regression: Figure 6/7 sweep points used to reuse the selector
+        # stream across k/q because only (dataset, method, repetition) was
+        # mixed into the seed.
+        base = dict(dataset="tiny", repetition=0, method="me")
+        seeds = {
+            work_unit_seed(7, "selector", k=k, q=q, **base)
+            for k, q in [(3, 4), (2, 4), (3, 8), (2, 8)]
+        }
+        assert len(seeds) == 4
+
+    def test_environment_seed_paired_across_methods(self):
+        shared = dict(dataset="tiny", repetition=1, k=3, q=4)
+        env_seed = work_unit_seed(7, "environment", **shared)
+        assert env_seed == work_unit_seed(7, "environment", **shared)
+        with pytest.raises(ValueError):
+            work_unit_seed(7, "environment", method="us", **shared)
+        with pytest.raises(ValueError):
+            work_unit_seed(7, "selector", **shared)
+        with pytest.raises(ValueError):
+            work_unit_seed(7, "nope", **shared)
+
+    def test_no_raw_repetition_reaches_the_environment(self):
+        unit = WorkUnit(dataset="tiny", method="us", repetition=2, k=3, q=4)
+        seeds = unit.seeds(FAST_CONFIG.base_seed)
+        assert set(seeds) == {"instance_seed", "environment_seed", "selector_seed"}
+        assert len(set(seeds.values())) == 3
+        assert all(value not in (0, 1, 2) for value in seeds.values())
+
+    def test_execute_work_unit_is_pure(self):
+        unit = WorkUnit(dataset="tiny", method="me", repetition=0, k=3, q=4)
+        first = execute_work_unit(unit, TINY_SPECS["tiny"], FAST_CONFIG)
+        second = execute_work_unit(unit, TINY_SPECS["tiny"], FAST_CONFIG)
+        first.pop("runtime_s"), second.pop("runtime_s")
+        assert first == second
+
+
+class TestParallelExecution:
+    def test_parallel_bit_identical_to_serial(self):
+        serial = _run(n_jobs=1)
+        parallel = _run(n_jobs=2)
+        assert _deterministic_view(serial["tiny"]) == _deterministic_view(parallel["tiny"])
+        # Runtimes are still recorded for every unit, just not identical.
+        assert len(parallel["tiny"].method_runtimes["us"]) == FAST_CONFIG.n_repetitions
+
+    def test_n_jobs_defaults_to_config(self):
+        from dataclasses import replace
+
+        parallel_config = replace(FAST_CONFIG, n_jobs=2)
+        serial = _run()
+        via_config = _run(config=parallel_config)
+        assert _deterministic_view(serial["tiny"]) == _deterministic_view(via_config["tiny"])
+
+    def test_invalid_n_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            _run(n_jobs=0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(n_jobs=0)
+
+    def test_empty_method_roster_rejected(self):
+        with pytest.raises(ValueError, match="at least one method"):
+            _run(methods=[])
+        with pytest.raises(ValueError, match="at least one method"):
+            plan_work_units(["tiny"], config=FAST_CONFIG, methods=[], specs=TINY_SPECS)
+
+
+class TestResultStore:
+    def test_store_records_every_unit(self, tmp_path):
+        store_path = tmp_path / "results.jsonl"
+        _run(store_path=str(store_path))
+        records = ResultStore(store_path).load_records()
+        assert len(records) == FAST_CONFIG.n_repetitions * len(METHODS)
+        assert {record["method"] for record in records} == set(METHODS)
+        assert all(record["base_seed"] == FAST_CONFIG.base_seed for record in records)
+
+    def test_resume_skips_completed_and_reproduces_full_run(self, tmp_path):
+        store_path = tmp_path / "results.jsonl"
+        full = _run(store_path=str(store_path))
+        # Simulate an interruption: keep only the first two completed units.
+        lines = store_path.read_text().splitlines(keepends=True)
+        store_path.write_text("".join(lines[:2]))
+
+        executed = []
+        resumed = _run(
+            store_path=str(store_path),
+            resume=True,
+            progress=lambda done, total, unit: executed.append(unit),
+        )
+        # First callback reports the resumed units (unit=None), the rest are fresh.
+        assert executed[0] is None
+        assert len([unit for unit in executed if unit is not None]) == len(lines) - 2
+        assert _deterministic_view(full["tiny"]) == _deterministic_view(resumed["tiny"])
+        assert len(ResultStore(store_path).load_records()) == len(lines)
+
+    def test_resume_tolerates_interrupted_trailing_line(self, tmp_path):
+        store_path = tmp_path / "results.jsonl"
+        _run(store_path=str(store_path))
+        full_lines = store_path.read_text().splitlines(keepends=True)
+        store_path.write_text("".join(full_lines[:2]) + '{"dataset": "tiny", "met')
+        resumed = _run(store_path=str(store_path), resume=True)
+        assert _deterministic_view(resumed["tiny"]) == _deterministic_view(_run()["tiny"])
+
+    def test_append_after_interrupted_line_does_not_merge(self, tmp_path):
+        # Regression: appending to a store whose last line was cut mid-write
+        # used to concatenate the next record onto the partial text, producing
+        # one merged garbage line that poisoned every later resume.
+        store_path = tmp_path / "results.jsonl"
+        _run(store_path=str(store_path))
+        lines = store_path.read_text().splitlines(keepends=True)
+        store_path.write_text("".join(lines[:2]) + '{"dataset": "tiny", "met')
+        resumed = _run(store_path=str(store_path), resume=True)
+        # The partial line was truncated, the re-executed units re-appended,
+        # and a second resume still parses the whole store.
+        records = ResultStore(store_path).load_records()
+        assert len(records) == FAST_CONFIG.n_repetitions * len(METHODS)
+        again = _run(store_path=str(store_path), resume=True)
+        assert _deterministic_view(resumed["tiny"]) == _deterministic_view(again["tiny"])
+
+    def test_corruption_in_the_middle_is_rejected(self, tmp_path):
+        store_path = tmp_path / "results.jsonl"
+        _run(store_path=str(store_path))
+        lines = store_path.read_text().splitlines(keepends=True)
+        store_path.write_text("not json\n" + "".join(lines))
+        with pytest.raises(ValueError, match="malformed record"):
+            _run(store_path=str(store_path), resume=True)
+
+    def test_resume_rejects_mismatched_schema_version(self, tmp_path):
+        store_path = tmp_path / "results.jsonl"
+        _run(store_path=str(store_path))
+        lines = store_path.read_text().splitlines(keepends=True)
+        old = json.loads(lines[0])
+        old["schema_version"] = 0
+        store_path.write_text(json.dumps(old) + "\n" + "".join(lines[1:]))
+        with pytest.raises(ValueError, match="schema_version"):
+            _run(store_path=str(store_path), resume=True)
+
+    def test_resume_rejects_mismatched_fingerprint(self, tmp_path):
+        from dataclasses import replace
+
+        store_path = tmp_path / "results.jsonl"
+        _run(store_path=str(store_path))
+        with pytest.raises(ValueError, match="base_seed"):
+            _run(config=replace(FAST_CONFIG, base_seed=99), store_path=str(store_path), resume=True)
+
+    def test_resume_rejects_changed_population(self, tmp_path):
+        # Regression: a store written under one specs= population used to be
+        # silently reused when resuming with a different population of the
+        # same name, k and q.
+        store_path = tmp_path / "results.jsonl"
+        _run(store_path=str(store_path))
+        bigger = {"tiny": synthetic_spec("tiny", n_workers=20, tasks_per_batch=4, k=3)}
+        with pytest.raises(ValueError, match="spec digest mismatch"):
+            run_method_comparison(
+                ["tiny"],
+                config=FAST_CONFIG,
+                methods=METHODS,
+                specs=bigger,
+                k_override=3,
+                q_override=4,
+                store_path=str(store_path),
+                resume=True,
+            )
+
+    def test_resume_requires_store(self):
+        with pytest.raises(ValueError, match="store_path"):
+            _run(resume=True)
+
+    def test_fresh_run_resets_existing_store(self, tmp_path):
+        store_path = tmp_path / "results.jsonl"
+        _run(store_path=str(store_path))
+        _run(store_path=str(store_path))  # no resume: starts over
+        records = ResultStore(store_path).load_records()
+        assert len(records) == FAST_CONFIG.n_repetitions * len(METHODS)
+
+    def test_records_outside_the_grid_are_ignored(self, tmp_path):
+        store_path = tmp_path / "results.jsonl"
+        full = _run(store_path=str(store_path))
+        store = ResultStore(store_path)
+        alien = dict(store.load_records()[0])
+        alien.update({"dataset": "other", "accuracy": 0.0})
+        store.append(alien)
+        resumed = _run(store_path=str(store_path), resume=True)
+        assert _deterministic_view(full["tiny"]) == _deterministic_view(resumed["tiny"])
+
+
+class TestCliExperiments:
+    def test_cli_experiments_runs(self, capsys):
+        code = main(
+            ["experiments", "--datasets", "S-1", "--methods", "us",
+             "--repetitions", "1", "--n-jobs", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "us" in out and "ground-truth" in out
+
+    def test_cli_experiments_store_and_resume(self, tmp_path, capsys):
+        store = tmp_path / "grid.jsonl"
+        argv = ["experiments", "--datasets", "S-1", "--methods", "us",
+                "--repetitions", "1", "--store", str(store)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert json.loads(store.read_text().splitlines()[0])["dataset"] == "S-1"
+        assert main(argv + ["--resume", "--progress"]) == 0
+        captured = capsys.readouterr()
+        assert "resumed: 1/1" in captured.err
+        assert captured.out == first
+
+    def test_cli_resume_without_store_is_a_user_error(self, capsys):
+        assert main(["experiments", "--datasets", "S-1", "--resume"]) == 2
+        assert "--resume requires --store" in capsys.readouterr().err
+
+    def test_cli_invalid_config_values_are_user_errors(self, capsys):
+        # Bad --repetitions/--n-jobs must exit 2 with a message on every
+        # grid-shaped subcommand, never escape as a traceback.
+        assert main(["table5", "--datasets", "S-1", "--repetitions", "0"]) == 2
+        assert "n_repetitions must be positive" in capsys.readouterr().err
+        assert main(["experiments", "--datasets", "S-1", "--n-jobs", "0"]) == 2
+        assert "n_jobs must be positive" in capsys.readouterr().err
+
+    def test_cli_parser_accepts_n_jobs_everywhere(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["table5", "--datasets", "S-1", "--n-jobs", "4"])
+        assert args.n_jobs == 4
+        args = parser.parse_args(["experiments", "--q", "8", "--k", "2", "--n-jobs", "2"])
+        assert args.experiment == "experiments"
+        assert (args.k, args.q, args.n_jobs) == (2, 8, 2)
