@@ -1,0 +1,204 @@
+"""Serving-layer benchmark: routing throughput and aggregation latency.
+
+Times the two serving hot paths in isolation:
+
+* **routing** — ``route()`` + load release per policy (``round_robin``,
+  ``least_loaded``, ``domain_affinity``) across pool sizes up to 640
+  workers, reported as routed tasks/second;
+* **aggregation** — per-answer ``add()`` latency of the streaming
+  majority vote and the incremental Dawid-Skene, plus the cost of the
+  exact EM replay (``converge``).
+
+Run it as a script (the pytest suite does not collect it):
+
+    PYTHONPATH=src python benchmarks/bench_serving.py
+    PYTHONPATH=src python benchmarks/bench_serving.py \
+        --pool-sizes 40 640 --tasks 20000 --output /tmp/bench.json
+
+The machine-readable output seeds the repo's perf trajectory
+(``BENCH_serving.json``); the schema is stamped into the payload as
+``schema_version``.  The repo's acceptance bar is >= 10k routed
+tasks/sec for ``least_loaded`` on a 640-worker pool.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.serving.aggregation import IncrementalDawidSkene, OnlineMajorityVote
+from repro.serving.pool import ServingPool, ServingWorker
+from repro.serving.qualification import DomainQualification, QualificationTier
+from repro.serving.routing import make_router, router_names
+
+SCHEMA_VERSION = 1
+
+DEFAULT_POOL_SIZES = (40, 160, 640)
+DEFAULT_DOMAIN = "target"
+#: Fraction of workers landing in the fallback tier, so tier filtering is
+#: exercised instead of idled.
+FALLBACK_FRACTION = 0.2
+
+
+def build_pool(n_workers: int, seed: int = 0, max_concurrent: int = 8) -> ServingPool:
+    """A synthetic serving pool with mixed qualification tiers."""
+    rng = np.random.default_rng(seed)
+    estimates = np.clip(rng.normal(0.75, 0.1, size=n_workers), 0.05, 0.95)
+    fallback = rng.uniform(size=n_workers) < FALLBACK_FRACTION
+    workers: List[ServingWorker] = []
+    for index in range(n_workers):
+        worker_id = f"w{index:04d}"
+        tier = QualificationTier.FALLBACK if fallback[index] else QualificationTier.QUALIFIED
+        qualification = DomainQualification(
+            worker_id=worker_id,
+            domain=DEFAULT_DOMAIN,
+            estimate=float(estimates[index]),
+            questions=20,
+            tier=tier,
+        )
+        workers.append(
+            ServingWorker(
+                worker_id=worker_id,
+                qualifications={DEFAULT_DOMAIN: qualification},
+                max_concurrent=max_concurrent,
+            )
+        )
+    return ServingPool(workers)
+
+
+def time_routing(
+    policy: str,
+    n_workers: int,
+    n_tasks: int,
+    votes: int,
+    repeats: int,
+) -> Dict[str, float]:
+    """Best-of-``repeats`` routing throughput of one policy on one pool size."""
+    times: List[float] = []
+    for repeat in range(repeats):
+        pool = build_pool(n_workers, seed=repeat)
+        router = make_router(policy, pool)
+        start = time.perf_counter()
+        for _ in range(n_tasks):
+            chosen = router.route(DEFAULT_DOMAIN, votes)
+            for worker_id in chosen:
+                pool.complete_assignment(worker_id)
+        times.append(time.perf_counter() - start)
+    best = min(times)
+    return {
+        "route_s": best,
+        "tasks_per_second": n_tasks / best if best > 0 else float("inf"),
+    }
+
+
+def time_aggregation(n_answers: int, n_tasks: int, n_workers: int, seed: int = 0) -> Dict[str, float]:
+    """Per-answer latency of the streaming aggregators on one synthetic stream."""
+    rng = np.random.default_rng(seed)
+    tasks = rng.integers(n_tasks, size=n_answers)
+    workers = rng.integers(n_workers, size=n_answers)
+    answers = rng.uniform(size=n_answers) < 0.7
+    # Deduplicate (worker, task) pairs — the DS aggregator rejects repeats.
+    seen = set()
+    stream = []
+    for t, w, a in zip(tasks, workers, answers):
+        if (int(w), int(t)) in seen:
+            continue
+        seen.add((int(w), int(t)))
+        stream.append((f"t{t:05d}", f"w{w:04d}", bool(a)))
+
+    majority = OnlineMajorityVote()
+    start = time.perf_counter()
+    for task_id, worker_id, answer in stream:
+        majority.add(task_id, worker_id, answer)
+    majority_s = time.perf_counter() - start
+
+    dawid_skene = IncrementalDawidSkene()
+    start = time.perf_counter()
+    for task_id, worker_id, answer in stream:
+        dawid_skene.add(task_id, worker_id, answer)
+    dawid_skene_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    dawid_skene.converge()
+    converge_s = time.perf_counter() - start
+
+    n = len(stream)
+    return {
+        "n_answers": n,
+        "majority_us_per_answer": 1e6 * majority_s / n,
+        "dawid_skene_us_per_answer": 1e6 * dawid_skene_s / n,
+        "converge_s": converge_s,
+        "answers_per_second_dawid_skene": n / dawid_skene_s if dawid_skene_s > 0 else float("inf"),
+    }
+
+
+def run_benchmark(
+    pool_sizes: Sequence[int],
+    n_tasks: int,
+    votes: int,
+    repeats: int,
+    n_answers: int,
+) -> Dict[str, object]:
+    """The full benchmark payload."""
+    routing: List[Dict[str, object]] = []
+    for policy in router_names():
+        for n_workers in pool_sizes:
+            result = time_routing(policy, n_workers, n_tasks, votes, repeats)
+            routing.append({"policy": policy, "pool_size": n_workers, **result})
+            print(
+                f"  {policy:>16} pool={n_workers:<4} "
+                f"{result['tasks_per_second']:>12,.0f} tasks/s",
+                file=sys.stderr,
+            )
+    aggregation = time_aggregation(n_answers, n_tasks=max(n_answers // 5, 1), n_workers=max(pool_sizes))
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "config": {
+            "pool_sizes": list(pool_sizes),
+            "n_tasks": n_tasks,
+            "votes_per_task": votes,
+            "repeats": repeats,
+            "n_answers": n_answers,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "numpy": np.__version__,
+        },
+        "routing": routing,
+        "aggregation": aggregation,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--pool-sizes", type=int, nargs="+", default=list(DEFAULT_POOL_SIZES))
+    parser.add_argument("--tasks", type=int, default=20_000, help="tasks routed per (policy, pool) cell")
+    parser.add_argument("--votes", type=int, default=3, help="workers per task")
+    parser.add_argument("--repeats", type=int, default=3, help="timing repeats (best is kept)")
+    parser.add_argument("--answers", type=int, default=50_000, help="answers streamed into the aggregators")
+    parser.add_argument("--output", default="BENCH_serving.json", help="JSON output path")
+    args = parser.parse_args(argv)
+
+    payload = run_benchmark(
+        pool_sizes=args.pool_sizes,
+        n_tasks=args.tasks,
+        votes=args.votes,
+        repeats=args.repeats,
+        n_answers=args.answers,
+    )
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,6 +28,17 @@ in with the ``@register_selector`` decorator:
 >>> make_selector("me", seed=7).name
 'me'
 
+A finished campaign hands off to the serving layer — routing policies,
+online aggregation and drift detection over the selected pool:
+
+>>> from repro import Campaign
+>>> serving = Campaign(dataset="S-1", selector="ours", k=5, seed=0).serve(n_tasks=50)
+>>> serving.n_tasks_routed
+50
+
+Routing policies are registry-addressable too (``repro.router_names()``)
+and extend with the ``@register_router`` decorator.
+
 The lower-level objects (datasets, environments, selector classes) remain
 available for harness-style use:
 
@@ -68,9 +79,25 @@ from repro.core import (
 from repro.datasets import DATASET_NAMES, DatasetInstance, DatasetSpec, load_dataset
 from repro.evaluation import compare_selectors, evaluate_selector, ground_truth_accuracy
 from repro.platform import AnnotationEnvironment, BudgetSchedule, compute_budget
+from repro.serving import (
+    AnnotationService,
+    DriftConfig,
+    IncrementalDawidSkene,
+    OnlineMajorityVote,
+    QualificationPolicy,
+    QualificationTier,
+    QualityTracker,
+    ServingConfig,
+    ServingPool,
+    ServingReport,
+    make_router,
+    register_router,
+    router_exists,
+    router_names,
+)
 from repro.workers import LearningWorker, StaticWorker, WorkerPool, WorkerProfile
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",
@@ -113,6 +140,21 @@ __all__ = [
     "WorkerProfile",
     "LearningWorker",
     "StaticWorker",
+    # Serving layer
+    "AnnotationService",
+    "DriftConfig",
+    "IncrementalDawidSkene",
+    "OnlineMajorityVote",
+    "QualificationPolicy",
+    "QualificationTier",
+    "QualityTracker",
+    "ServingConfig",
+    "ServingPool",
+    "ServingReport",
+    "make_router",
+    "register_router",
+    "router_exists",
+    "router_names",
     # Evaluation / configuration
     "compare_selectors",
     "evaluate_selector",

@@ -24,11 +24,18 @@ Three usage modes, all yielding bit-identical selections for one seed:
   randomness is derived from the campaign seed, so restoration replays the
   completed rounds deterministically and then continues; the resumed
   campaign's final selection is identical to an uninterrupted run.
+
+A finished campaign hands off to the serving layer: :meth:`Campaign.serve`
+streams the dataset's working tasks through the selected pool (routing,
+online aggregation, drift detection) and returns a
+:class:`~repro.serving.service.ServingReport`; :meth:`Campaign.serving_service`
+returns the configured :class:`~repro.serving.service.AnnotationService`
+itself for callers that drive the stream manually.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Generator, Iterator, List, Mapping, Optional
 
 from repro.core.pipeline import RoundDiagnostics
@@ -37,7 +44,16 @@ from repro.core.selector import BaseWorkerSelector, SelectionResult
 from repro.datasets.registry import load_dataset
 from repro.evaluation.metrics import precision_at_k
 from repro.platform.session import AnnotationEnvironment
-from repro.stats.rng import derive_seed
+from repro.serving.pool import ServingPool
+from repro.serving.qualification import QualificationPolicy
+from repro.serving.service import (
+    AnnotationService,
+    AnswerOracle,
+    ServingConfig,
+    ServingReport,
+    working_task_stream,
+)
+from repro.stats.rng import as_generator, derive_seed
 
 _STATE_VERSION = 1
 
@@ -390,6 +406,114 @@ class Campaign:
         return self._report
 
     # ------------------------------------------------------------------ #
+    # Serving handoff
+    # ------------------------------------------------------------------ #
+    def serving_service(
+        self,
+        config: Optional[ServingConfig] = None,
+        *,
+        qualification: Optional[QualificationPolicy] = None,
+        answer_oracle: Optional[AnswerOracle] = None,
+        **overrides: object,
+    ) -> AnnotationService:
+        """Build the serving layer from this campaign's finished selection.
+
+        Runs the campaign to completion if needed, qualifies the selected
+        workers per domain (target domain from the selector's final
+        estimates and training history, prior domains from the historical
+        profiles) and returns a ready
+        :class:`~repro.serving.service.AnnotationService`.
+
+        Parameters
+        ----------
+        config:
+            Full :class:`~repro.serving.service.ServingConfig`; keyword
+            ``overrides`` (e.g. ``router="least_loaded"``) patch the
+            default config instead.
+        qualification:
+            Qualification policy (thresholds, fallback tier).
+        answer_oracle:
+            Override how routed workers answer; the default simulates each
+            worker at its fully trained latent accuracy, drawing from a
+            stream derived from the campaign seed and the serving seed —
+            same seed and routing policy ⇒ identical trace and labels.
+        """
+        if config is not None and overrides:
+            raise ValueError("pass either a full ServingConfig or keyword overrides, not both")
+        resolved = config if config is not None else replace(ServingConfig(), **overrides)  # type: ignore[arg-type]
+        result = self.result()
+        environment = self._environment
+        assert environment is not None
+        history = environment.history
+
+        def observed_accuracy(worker_id: str) -> float:
+            total = 0
+            correct = 0
+            for record in history.rounds_for_worker(worker_id):
+                total += record.tasks_per_worker
+                correct += int(record.correctness[worker_id].sum())
+            # A worker the selector never tested is "unknown", which the
+            # qualification policy maps to the fallback tier — not to
+            # unqualified, and not to fully qualified either.
+            return correct / total if total else 0.5
+
+        target_estimates = {
+            worker_id: float(result.estimated_accuracies.get(worker_id, observed_accuracy(worker_id)))
+            for worker_id in result.selected_worker_ids
+        }
+        pool = ServingPool.from_selection(
+            worker_ids=result.selected_worker_ids,
+            target_domain=self._instance.target_domain,
+            target_estimates=target_estimates,
+            training_questions={
+                worker_id: history.cumulative_exposure(worker_id)
+                for worker_id in result.selected_worker_ids
+            },
+            profiles={w.worker_id: w.profile for w in self._instance.pool},
+            policy=qualification,
+            max_concurrent=resolved.max_concurrent,
+        )
+        if answer_oracle is None:
+            generator = as_generator(
+                derive_seed(self._seed, "campaign", "serving", resolved.seed)
+            )
+            final_accuracies = {
+                worker_id: environment.final_accuracy(worker_id)
+                for worker_id in result.selected_worker_ids
+            }
+
+            def answer_oracle(worker_id, task):  # noqa: F811 - deliberate default binding
+                correct = bool(generator.uniform() < final_accuracies[worker_id])
+                return task.gold_label if correct else not task.gold_label
+
+        return AnnotationService(pool, resolved, answer_oracle=answer_oracle)
+
+    def serve(
+        self,
+        n_tasks: Optional[int] = None,
+        config: Optional[ServingConfig] = None,
+        *,
+        qualification: Optional[QualificationPolicy] = None,
+        answer_oracle: Optional[AnswerOracle] = None,
+        **overrides: object,
+    ) -> ServingReport:
+        """Serve ``n_tasks`` working tasks through the selected pool.
+
+        Convenience wrapper over :meth:`serving_service`: streams the
+        dataset's working tasks (cycled deterministically when ``n_tasks``
+        exceeds the bank) and returns the resulting
+        :class:`~repro.serving.service.ServingReport`.
+        """
+        service = self.serving_service(
+            config,
+            qualification=qualification,
+            answer_oracle=answer_oracle,
+            **overrides,
+        )
+        tasks = working_task_stream(self._instance.task_bank, n_tasks)
+        return service.serve(tasks)
+
+    # ------------------------------------------------------------------ #
     # Checkpoint / resume
     # ------------------------------------------------------------------ #
     def state_dict(self) -> Dict[str, object]:
@@ -436,4 +560,4 @@ class Campaign:
         return campaign
 
 
-__all__ = ["Campaign", "CampaignEvent", "CampaignReport"]
+__all__ = ["Campaign", "CampaignEvent", "CampaignReport", "ServingConfig", "ServingReport"]

@@ -10,6 +10,10 @@ Stream per-round progress of a campaign::
 
     repro-crowd run --dataset RW-1 --selector me-cpe --stream
 
+Select workers on S-1 and serve 200 working tasks through the selected pool::
+
+    repro-crowd serve --dataset S-1 --selector ours --router domain_affinity --tasks 200
+
 Run the main results table on the two real-world datasets with 3 repetitions::
 
     repro-crowd table5 --datasets RW-1 RW-2 --repetitions 3
@@ -38,6 +42,7 @@ from repro.campaign import Campaign
 from repro.config import ExperimentConfig
 from repro.core.registry import selector_exists, selector_names
 from repro.datasets.registry import DATASET_NAMES
+from repro.serving.routing import router_exists, router_names
 
 EXPERIMENTS = (
     "table2",
@@ -67,6 +72,15 @@ def _selector_name(value: str) -> str:
     if not selector_exists(value):
         raise argparse.ArgumentTypeError(
             f"unknown selector {value!r}; registered selectors: {', '.join(selector_names())}"
+        )
+    return value.strip().lower()
+
+
+def _router_name(value: str) -> str:
+    """Argparse type: validate a routing-policy name against the registry."""
+    if not router_exists(value):
+        raise argparse.ArgumentTypeError(
+            f"unknown router {value!r}; registered routers: {', '.join(router_names())}"
         )
     return value.strip().lower()
 
@@ -186,6 +200,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("--json", action="store_true", help="print the full campaign report as JSON")
     run_parser.add_argument("--stream", action="store_true", help="print one line per elimination round")
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="select k workers, then serve working tasks through the selected pool",
+        description=(
+            "Run one selection campaign and hand the selected workers to the "
+            "serving layer: route a stream of working tasks with the chosen "
+            "policy, aggregate the answers online and report labels, drift "
+            "events and the re-selection signal."
+        ),
+    )
+    serve_parser.add_argument("--dataset", type=_dataset_name, default="S-1", help="dataset name (default S-1)")
+    serve_parser.add_argument(
+        "--selector",
+        type=_selector_name,
+        default="ours",
+        help=f"registered selector (default 'ours'); choices: {', '.join(selector_names())}",
+    )
+    serve_parser.add_argument("--k", type=int, default=None, help="workers to select (default: the dataset's k)")
+    serve_parser.add_argument("--seed", type=int, default=0, help="campaign + serving seed (default 0)")
+    serve_parser.add_argument(
+        "--router",
+        type=_router_name,
+        default="domain_affinity",
+        help=f"routing policy (default 'domain_affinity'); choices: {', '.join(router_names())}",
+    )
+    serve_parser.add_argument(
+        "--votes", type=int, default=3, help="distinct workers asked per working task (default 3)"
+    )
+    serve_parser.add_argument(
+        "--tasks", type=int, default=None, help="working tasks to serve (default: the dataset's working set)"
+    )
+    serve_parser.add_argument(
+        "--budget", type=int, default=None, help="serving budget in vote units (default: unlimited)"
+    )
+    serve_parser.add_argument(
+        "--aggregator",
+        choices=("dawid_skene", "majority"),
+        default="dawid_skene",
+        help="online label aggregator (default dawid_skene)",
+    )
+    serve_parser.add_argument("--json", action="store_true", help="print the full serving report as JSON")
     return parser
 
 
@@ -295,12 +351,58 @@ def _report_campaign(campaign: Campaign, args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_campaign(args: argparse.Namespace) -> int:
+    """The ``repro-crowd serve`` subcommand: selection + serving handoff."""
+    try:
+        campaign = Campaign(dataset=args.dataset, selector=args.selector, k=args.k, seed=args.seed)
+        report = campaign.serve(
+            n_tasks=args.tasks,
+            router=args.router,
+            votes_per_task=args.votes,
+            max_assignments=args.budget,
+            aggregator=args.aggregator,
+            seed=args.seed,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        message = exc.args[0] if exc.args and isinstance(exc.args[0], str) else exc
+        print(f"repro-crowd serve: error: {message}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(
+        f"served {report.n_tasks_routed} working tasks via {report.router} "
+        f"({report.n_answers} answers, {report.aggregator} aggregation)"
+    )
+    if report.label_accuracy is not None:
+        print(f"aggregated label accuracy: {report.label_accuracy:.3f}")
+    if report.max_assignments is not None:
+        exhausted = " (exhausted)" if report.budget_exhausted else ""
+        print(f"serving budget: {report.spent_assignments}/{report.max_assignments}{exhausted}")
+    print("worker load (assigned/completed):")
+    for worker_id, load in report.worker_load.items():
+        print(f"  {worker_id}: {load['assigned_total']}/{load['completed_total']}")
+    if report.drift_events:
+        print(f"drift events ({len(report.drift_events)}):")
+        for event in report.drift_events:
+            print(
+                f"  {event.worker_id} on {event.domain}: ewma {event.ewma:.3f} "
+                f"(baseline {event.baseline:.3f}) after {event.n_observations} answers"
+            )
+    else:
+        print("drift events: none")
+    print(f"re-selection recommended: {'yes' if report.reselection_recommended else 'no'}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
 
     if args.experiment == "run":
         return _run_campaign(args)
+    if args.experiment == "serve":
+        return _serve_campaign(args)
     if args.experiment == "experiments":
         return _run_experiments(args)
 

@@ -1,0 +1,73 @@
+"""Post-selection serving layer: route working tasks to the selected pool.
+
+The paper's pipeline ends when the top-``k`` workers are selected; this
+package picks up from there and drives the annotation phase itself:
+
+* :mod:`~repro.serving.qualification` — per-domain qualification tiers
+  derived from CPE estimates, training history and historical profiles;
+* :mod:`~repro.serving.pool` — the :class:`ServingPool` with per-worker
+  concurrency caps and load accounting;
+* :mod:`~repro.serving.routing` — the routing-policy registry
+  (``round_robin``, ``least_loaded``, ``domain_affinity``; extend with
+  :func:`register_router`);
+* :mod:`~repro.serving.aggregation` — streaming majority vote and an
+  incremental Dawid-Skene whose exact EM replay matches the batch
+  aggregator;
+* :mod:`~repro.serving.quality` — per-worker/per-domain EWMA drift
+  detection that demotes qualifications and raises a re-selection signal;
+* :mod:`~repro.serving.service` — :class:`AnnotationService`, the serving
+  loop tying it all together (handed off from
+  :meth:`repro.campaign.Campaign.serve`).
+"""
+
+from repro.serving.aggregation import IncrementalDawidSkene, OnlineMajorityVote
+from repro.serving.pool import ServingPool, ServingWorker
+from repro.serving.qualification import (
+    DomainQualification,
+    QualificationPolicy,
+    QualificationTier,
+)
+from repro.serving.quality import DriftConfig, DriftEvent, QualityTracker
+from repro.serving.routing import (
+    BaseRouter,
+    NoEligibleWorkersError,
+    RouterRegistry,
+    make_router,
+    register_router,
+    resolve_router_name,
+    router_exists,
+    router_names,
+)
+from repro.serving.service import (
+    AnnotationService,
+    ServingConfig,
+    ServingReport,
+    TaskAssignment,
+    working_task_stream,
+)
+
+__all__ = [
+    "AnnotationService",
+    "BaseRouter",
+    "DomainQualification",
+    "DriftConfig",
+    "DriftEvent",
+    "IncrementalDawidSkene",
+    "NoEligibleWorkersError",
+    "OnlineMajorityVote",
+    "QualificationPolicy",
+    "QualificationTier",
+    "QualityTracker",
+    "RouterRegistry",
+    "ServingConfig",
+    "ServingPool",
+    "ServingReport",
+    "ServingWorker",
+    "TaskAssignment",
+    "make_router",
+    "register_router",
+    "resolve_router_name",
+    "router_exists",
+    "router_names",
+    "working_task_stream",
+]

@@ -1,0 +1,235 @@
+"""The serving pool: selected workers, their qualifications and their load.
+
+A :class:`ServingPool` is the mutable state the routing policies operate
+on: for every selected worker it tracks per-domain
+:class:`~repro.serving.qualification.DomainQualification`, the number of
+in-flight assignments (bounded by a per-worker concurrency cap) and
+lifetime assignment counters.  It is deliberately free of routing logic —
+policies read eligibility and load here and write assignments back through
+:meth:`begin_assignment` / :meth:`complete_assignment`, so every policy
+enforces the same caps by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.serving.qualification import (
+    DomainQualification,
+    QualificationPolicy,
+    QualificationTier,
+    qualification_for,
+)
+from repro.workers.profile import WorkerProfile
+
+
+@dataclass
+class ServingWorker:
+    """One selected worker as the serving layer sees it."""
+
+    worker_id: str
+    qualifications: Dict[str, DomainQualification] = field(default_factory=dict)
+    max_concurrent: int = 8
+    active: int = 0
+    assigned_total: int = 0
+    completed_total: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent <= 0:
+            raise ValueError("max_concurrent must be positive")
+
+    @property
+    def has_capacity(self) -> bool:
+        return self.active < self.max_concurrent
+
+    def tier_on(self, domain: str) -> QualificationTier:
+        qualification = self.qualifications.get(domain)
+        return qualification.tier if qualification is not None else QualificationTier.UNQUALIFIED
+
+    def estimate_on(self, domain: str) -> float:
+        qualification = self.qualifications.get(domain)
+        return qualification.estimate if qualification is not None else 0.0
+
+
+class ServingPool:
+    """Ordered collection of :class:`ServingWorker` with load accounting.
+
+    ``policy`` records the qualification policy the workers were qualified
+    under; :meth:`demote` consults it so a pool built with
+    ``allow_fallback=False`` never demotes a worker *into* the fallback
+    tier it promised to never route to.
+    """
+
+    def __init__(
+        self,
+        workers: Iterable[ServingWorker],
+        policy: Optional[QualificationPolicy] = None,
+    ) -> None:
+        self._policy = policy
+        self._workers: Dict[str, ServingWorker] = {}
+        for worker in workers:
+            if worker.worker_id in self._workers:
+                raise ValueError(f"duplicate worker id: {worker.worker_id!r}")
+            self._workers[worker.worker_id] = worker
+        if not self._workers:
+            raise ValueError("a serving pool must contain at least one worker")
+
+    # ------------------------------------------------------------------ #
+    # Construction from a finished selection
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_selection(
+        cls,
+        worker_ids: Iterable[str],
+        target_domain: str,
+        target_estimates: Mapping[str, float],
+        training_questions: Mapping[str, int],
+        profiles: Mapping[str, WorkerProfile],
+        policy: Optional[QualificationPolicy] = None,
+        max_concurrent: int = 8,
+    ) -> "ServingPool":
+        """Qualify the selected workers from CPE estimates and history.
+
+        Parameters
+        ----------
+        worker_ids:
+            The selected workers, in selection order.
+        target_domain:
+            The campaign's target domain.
+        target_estimates:
+            The selector's final per-worker accuracy estimate (CPE or
+            observed); workers missing here fall back to estimate 0.
+        training_questions:
+            Golden learning tasks each worker answered during selection.
+        profiles:
+            Historical ``(h_i, n_i)`` profiles; each prior domain with a
+            record becomes an additional qualification.
+        """
+        policy = policy or QualificationPolicy()
+        workers: List[ServingWorker] = []
+        for worker_id in worker_ids:
+            qualifications: Dict[str, DomainQualification] = {
+                target_domain: qualification_for(
+                    policy,
+                    worker_id,
+                    target_domain,
+                    estimate=float(target_estimates.get(worker_id, 0.0)),
+                    questions=int(training_questions.get(worker_id, 0)),
+                )
+            }
+            profile = profiles.get(worker_id)
+            if profile is not None:
+                for domain in profile.domains:
+                    qualifications[domain] = qualification_for(
+                        policy,
+                        worker_id,
+                        domain,
+                        estimate=profile.accuracies[domain],
+                        questions=profile.task_counts[domain],
+                    )
+            workers.append(
+                ServingWorker(
+                    worker_id=worker_id,
+                    qualifications=qualifications,
+                    max_concurrent=max_concurrent,
+                )
+            )
+        return cls(workers, policy=policy)
+
+    # ------------------------------------------------------------------ #
+    # Collection protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def __contains__(self, worker_id: str) -> bool:
+        return worker_id in self._workers
+
+    def __getitem__(self, worker_id: str) -> ServingWorker:
+        try:
+            return self._workers[worker_id]
+        except KeyError:
+            raise KeyError(f"unknown worker id: {worker_id!r}") from None
+
+    @property
+    def worker_ids(self) -> List[str]:
+        """All worker identifiers in pool order."""
+        return list(self._workers)
+
+    @property
+    def workers(self) -> List[ServingWorker]:
+        """All serving workers in pool order."""
+        return list(self._workers.values())
+
+    # ------------------------------------------------------------------ #
+    # Eligibility and load
+    # ------------------------------------------------------------------ #
+    def eligible(self, domain: str, min_tier: QualificationTier = QualificationTier.FALLBACK) -> List[str]:
+        """Workers allowed on ``domain`` at ``min_tier`` or better, in pool order.
+
+        Concurrency caps are *not* applied here — a policy may want to know
+        the full eligible set even when everyone is momentarily busy.
+        """
+        return [w.worker_id for w in self._workers.values() if w.tier_on(domain) >= min_tier]
+
+    def available(self, domain: str, min_tier: QualificationTier = QualificationTier.FALLBACK) -> List[str]:
+        """Eligible workers that also have spare concurrency capacity."""
+        return [
+            w.worker_id
+            for w in self._workers.values()
+            if w.tier_on(domain) >= min_tier and w.has_capacity
+        ]
+
+    def begin_assignment(self, worker_id: str) -> None:
+        """Charge one in-flight assignment to the worker (cap enforced)."""
+        worker = self[worker_id]
+        if not worker.has_capacity:
+            raise RuntimeError(
+                f"worker {worker_id!r} is at its concurrency cap ({worker.max_concurrent})"
+            )
+        worker.active += 1
+        worker.assigned_total += 1
+
+    def complete_assignment(self, worker_id: str) -> None:
+        """Release one in-flight assignment (answer received or abandoned)."""
+        worker = self[worker_id]
+        if worker.active <= 0:
+            raise RuntimeError(f"worker {worker_id!r} has no in-flight assignment to complete")
+        worker.active -= 1
+        worker.completed_total += 1
+
+    def demote(self, worker_id: str, domain: str) -> QualificationTier:
+        """Drop the worker one tier on ``domain``; returns the new tier.
+
+        Under a policy with ``allow_fallback=False`` the fallback tier is
+        skipped: a qualified worker demotes straight to unqualified.
+        """
+        worker = self[worker_id]
+        qualification = worker.qualifications.get(domain)
+        if qualification is None:
+            return QualificationTier.UNQUALIFIED
+        demoted = qualification.demoted()
+        if (
+            demoted.tier is QualificationTier.FALLBACK
+            and self._policy is not None
+            and not self._policy.allow_fallback
+        ):
+            demoted = demoted.demoted()
+        worker.qualifications[domain] = demoted
+        return worker.qualifications[domain].tier
+
+    # ------------------------------------------------------------------ #
+    def load_snapshot(self) -> Dict[str, Dict[str, int]]:
+        """Per-worker load counters (for reports and tests)."""
+        return {
+            w.worker_id: {
+                "active": w.active,
+                "assigned_total": w.assigned_total,
+                "completed_total": w.completed_total,
+            }
+            for w in self._workers.values()
+        }
+
+
+__all__ = ["ServingWorker", "ServingPool"]

@@ -1,0 +1,142 @@
+"""Per-domain worker qualification for the serving phase.
+
+Selection ends with *who* is in the pool; serving additionally needs to know
+*what each worker may be asked*.  Following potato's category-based
+assignment idiom, every worker carries one qualification per domain, derived
+from whatever evidence the platform has:
+
+* on the **target domain** — the selector's final CPE estimate plus the
+  number of golden questions the worker answered during training;
+* on the **prior domains** — the historical profile ``(h_i, n_i)``.
+
+A :class:`QualificationPolicy` turns ``(estimate, questions)`` into a
+:class:`QualificationTier`:
+
+``QUALIFIED``
+    estimate ≥ ``threshold`` and at least ``min_questions`` answered — the
+    worker is routed to freely.
+``FALLBACK``
+    estimate ≥ ``fallback_threshold`` (or too few questions to judge) — a
+    configurable second tier routers may use when qualified capacity runs
+    out; disable it with ``allow_fallback=False``.
+``UNQUALIFIED``
+    everything else — never routed to on that domain.
+
+Drift detection (:mod:`repro.serving.quality`) demotes qualifications one
+tier at a time, so a degrading worker first loses priority and then loses
+the domain entirely.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+
+class QualificationTier(enum.IntEnum):
+    """Routing priority of one worker on one domain (higher is better)."""
+
+    UNQUALIFIED = 0
+    FALLBACK = 1
+    QUALIFIED = 2
+
+    def demoted(self) -> "QualificationTier":
+        """The next tier down (``UNQUALIFIED`` stays put)."""
+        return QualificationTier(max(self.value - 1, QualificationTier.UNQUALIFIED.value))
+
+
+@dataclass(frozen=True)
+class QualificationPolicy:
+    """Thresholds mapping qualification evidence to a tier.
+
+    Attributes
+    ----------
+    threshold:
+        Minimum estimated accuracy for the ``QUALIFIED`` tier.
+    fallback_threshold:
+        Minimum estimated accuracy for the ``FALLBACK`` tier; must not
+        exceed ``threshold``.
+    min_questions:
+        Golden/prior questions needed before an estimate is trusted; with
+        fewer, the worker lands in the fallback tier (benefit of the doubt,
+        never full qualification).
+    allow_fallback:
+        When ``False`` the fallback tier collapses into ``UNQUALIFIED``,
+        i.e. only fully qualified workers are ever routed to.
+    """
+
+    threshold: float = 0.6
+    fallback_threshold: float = 0.5
+    min_questions: int = 10
+    allow_fallback: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ValueError("threshold must lie in [0, 1]")
+        if not 0.0 <= self.fallback_threshold <= 1.0:
+            raise ValueError("fallback_threshold must lie in [0, 1]")
+        if self.fallback_threshold > self.threshold:
+            raise ValueError("fallback_threshold cannot exceed threshold")
+        if self.min_questions < 0:
+            raise ValueError("min_questions must be non-negative")
+
+    def qualify(self, estimate: float, questions: int) -> QualificationTier:
+        """The tier earned by ``estimate`` over ``questions`` answered tasks."""
+        fallback = QualificationTier.FALLBACK if self.allow_fallback else QualificationTier.UNQUALIFIED
+        if questions < self.min_questions:
+            return fallback if estimate >= self.fallback_threshold else QualificationTier.UNQUALIFIED
+        if estimate >= self.threshold:
+            return QualificationTier.QUALIFIED
+        if estimate >= self.fallback_threshold:
+            return fallback
+        return QualificationTier.UNQUALIFIED
+
+
+@dataclass(frozen=True)
+class DomainQualification:
+    """One worker's qualification on one domain."""
+
+    worker_id: str
+    domain: str
+    estimate: float
+    questions: int
+    tier: QualificationTier
+
+    def demoted(self) -> "DomainQualification":
+        """A copy one tier lower (used by drift demotion)."""
+        return replace(self, tier=self.tier.demoted())
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {
+            "worker_id": self.worker_id,
+            "domain": self.domain,
+            "estimate": self.estimate,
+            "questions": self.questions,
+            "tier": self.tier.name.lower(),
+        }
+
+
+def qualification_for(
+    policy: QualificationPolicy,
+    worker_id: str,
+    domain: str,
+    estimate: float,
+    questions: int,
+) -> DomainQualification:
+    """Build one :class:`DomainQualification` under ``policy``."""
+    return DomainQualification(
+        worker_id=worker_id,
+        domain=domain,
+        estimate=float(estimate),
+        questions=int(questions),
+        tier=policy.qualify(float(estimate), int(questions)),
+    )
+
+
+__all__ = [
+    "QualificationTier",
+    "QualificationPolicy",
+    "DomainQualification",
+    "qualification_for",
+]

@@ -1,0 +1,332 @@
+"""Routing policies: which workers annotate the next working task.
+
+Mirrors the selector registry (:mod:`repro.core.registry`) for the serving
+axis: every policy registers a keyword-configurable factory under a
+canonical name, so deployments choose a policy by string and new policies
+plug in with one decorator:
+
+>>> from repro.serving.routing import make_router, register_router
+
+Built-in policies (all deterministic, all enforcing the per-worker
+concurrency cap by charging assignments through the pool):
+
+``round_robin``
+    Cycle through the eligible workers in pool order.
+``least_loaded``
+    A lazy min-heap over ``(active, assigned_total, worker_id)``; the
+    worker with the fewest in-flight assignments wins, lifetime assignment
+    count breaks ties, worker id makes it total.
+``domain_affinity``
+    Prefer fully qualified workers on the task's domain, ranked by
+    qualification estimate; spill into the fallback tier only when
+    qualified capacity is exhausted.
+
+A policy's :meth:`BaseRouter.route` picks ``n_votes`` *distinct* workers
+and charges their in-flight load; the serving loop releases the load when
+the answer is recorded.  The platform budget is enforced once, in
+:class:`~repro.serving.service.AnnotationService`, before any policy is
+consulted, so no policy can route past it.
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+import inspect
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.serving.pool import ServingPool
+from repro.serving.qualification import QualificationTier
+
+
+class NoEligibleWorkersError(RuntimeError):
+    """Raised when no eligible worker has spare capacity for a task."""
+
+
+class BaseRouter(abc.ABC):
+    """Interface every routing policy implements."""
+
+    #: Canonical policy name (used in traces and reports).
+    name: str = "base"
+
+    def __init__(self, pool: ServingPool, min_tier: QualificationTier = QualificationTier.FALLBACK) -> None:
+        self._pool = pool
+        self._min_tier = min_tier
+
+    @property
+    def pool(self) -> ServingPool:
+        return self._pool
+
+    @abc.abstractmethod
+    def route(self, domain: str, n_votes: int) -> List[str]:
+        """Pick up to ``n_votes`` distinct workers for one ``domain`` task.
+
+        Implementations must charge every returned worker through
+        :meth:`ServingPool.begin_assignment` (which enforces the
+        concurrency cap) and must raise :class:`NoEligibleWorkersError`
+        when not a single eligible worker has capacity.  Returning fewer
+        than ``n_votes`` workers is allowed when capacity is short.
+        """
+
+    def _check_votes(self, n_votes: int) -> None:
+        if n_votes <= 0:
+            raise ValueError("n_votes must be positive")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+# ---------------------------------------------------------------------- #
+# Registry (the core/registry.py pattern, on the routing axis)
+# ---------------------------------------------------------------------- #
+#: A router factory: a serving pool plus keyword configuration in, policy out.
+RouterFactory = Callable[..., BaseRouter]
+
+
+class RouterRegistry:
+    """A name -> factory mapping with aliases and friendly errors."""
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, RouterFactory] = {}
+        self._aliases: Dict[str, str] = {}
+
+    @staticmethod
+    def _canonical(name: str) -> str:
+        return name.strip().lower().replace("-", "_")
+
+    def register(
+        self,
+        name: str,
+        factory: Optional[RouterFactory] = None,
+        *,
+        aliases: Iterable[str] = (),
+        replace: bool = False,
+    ):
+        """Register ``factory`` under ``name`` (usable as a decorator)."""
+
+        def _register(target: RouterFactory) -> RouterFactory:
+            canonical = self._canonical(name)
+            if not replace and (canonical in self._factories or canonical in self._aliases):
+                raise ValueError(
+                    f"router {canonical!r} is already registered (pass replace=True to override)"
+                )
+            self._aliases.pop(canonical, None)
+            self._factories[canonical] = target
+            for alias in aliases:
+                alias_key = self._canonical(alias)
+                if alias_key == canonical:
+                    continue
+                if alias_key in self._factories:
+                    raise ValueError(
+                        f"alias {alias_key!r} collides with the registered router {alias_key!r}"
+                    )
+                existing = self._aliases.get(alias_key)
+                if not replace and existing is not None and existing != canonical:
+                    raise ValueError(f"alias {alias_key!r} already points at router {existing!r}")
+                self._aliases[alias_key] = canonical
+            return target
+
+        if factory is not None:
+            return _register(factory)
+        return _register
+
+    def resolve(self, name: str) -> str:
+        """Canonical name for ``name`` (follows aliases); KeyError if unknown."""
+        key = self._canonical(name)
+        key = self._aliases.get(key, key)
+        if key not in self._factories:
+            raise KeyError(f"unknown router {name!r}; registered routers: {', '.join(self.names())}")
+        return key
+
+    def __contains__(self, name: str) -> bool:
+        key = self._canonical(name)
+        return self._aliases.get(key, key) in self._factories
+
+    def names(self) -> List[str]:
+        """Canonical names of every registered router, sorted."""
+        return sorted(self._factories)
+
+    def create(self, name: str, pool: ServingPool, **config: object) -> BaseRouter:
+        """Build the router registered under ``name`` for ``pool``."""
+        canonical = self.resolve(name)
+        factory = self._factories[canonical]
+        try:
+            return factory(pool, **config)
+        except TypeError as exc:
+            raise TypeError(
+                f"invalid configuration for router {canonical!r}: {exc} "
+                f"(signature: {canonical}{inspect.signature(factory)})"
+            ) from exc
+
+
+#: The process-wide registry used by :func:`make_router` and the CLI.
+GLOBAL_ROUTER_REGISTRY = RouterRegistry()
+
+
+def register_router(
+    name: str,
+    factory: Optional[RouterFactory] = None,
+    *,
+    aliases: Iterable[str] = (),
+    replace: bool = False,
+):
+    """Register a router factory in the global registry (decorator-friendly)."""
+    return GLOBAL_ROUTER_REGISTRY.register(name, factory, aliases=aliases, replace=replace)
+
+
+def make_router(name: str, pool: ServingPool, **config: object) -> BaseRouter:
+    """Construct a registered routing policy by name for ``pool``."""
+    return GLOBAL_ROUTER_REGISTRY.create(name, pool, **config)
+
+
+def router_names() -> List[str]:
+    """Canonical names of every registered routing policy."""
+    return GLOBAL_ROUTER_REGISTRY.names()
+
+
+def router_exists(name: str) -> bool:
+    """Whether ``name`` (or an alias of it) is registered."""
+    return name in GLOBAL_ROUTER_REGISTRY
+
+
+def resolve_router_name(name: str) -> str:
+    """Canonical registered name for ``name`` (follows aliases, fixes case)."""
+    return GLOBAL_ROUTER_REGISTRY.resolve(name)
+
+
+# ---------------------------------------------------------------------- #
+# Built-in policies
+# ---------------------------------------------------------------------- #
+class RoundRobinRouter(BaseRouter):
+    """Cycle through eligible workers in pool order."""
+
+    name = "round_robin"
+
+    def __init__(self, pool: ServingPool, min_tier: QualificationTier = QualificationTier.FALLBACK) -> None:
+        super().__init__(pool, min_tier)
+        self._cursor = 0
+
+    def route(self, domain: str, n_votes: int) -> List[str]:
+        self._check_votes(n_votes)
+        order = self._pool.worker_ids
+        chosen: List[str] = []
+        scanned = 0
+        while len(chosen) < n_votes and scanned < len(order):
+            worker_id = order[self._cursor % len(order)]
+            self._cursor += 1
+            scanned += 1
+            worker = self._pool[worker_id]
+            if worker.tier_on(domain) >= self._min_tier and worker.has_capacity:
+                self._pool.begin_assignment(worker_id)
+                chosen.append(worker_id)
+        if not chosen:
+            raise NoEligibleWorkersError(f"no eligible worker with capacity on domain {domain!r}")
+        return chosen
+
+
+class LeastLoadedRouter(BaseRouter):
+    """Heap-based policy: fewest in-flight assignments wins.
+
+    The heap holds ``(active, assigned_total, worker_id)`` keys and uses
+    lazy invalidation: an entry whose key no longer matches the worker's
+    live counters is discarded and re-pushed with the current key, so load
+    released by :meth:`ServingPool.complete_assignment` is picked up
+    without the pool having to notify the router.
+    """
+
+    name = "least_loaded"
+
+    def __init__(self, pool: ServingPool, min_tier: QualificationTier = QualificationTier.FALLBACK) -> None:
+        super().__init__(pool, min_tier)
+        self._heap: List[Tuple[int, int, str]] = [
+            (worker.active, worker.assigned_total, worker.worker_id) for worker in pool.workers
+        ]
+        heapq.heapify(self._heap)
+
+    def route(self, domain: str, n_votes: int) -> List[str]:
+        self._check_votes(n_votes)
+        chosen: List[str] = []
+        held_back: List[Tuple[int, int, str]] = []
+        while self._heap and len(chosen) < n_votes:
+            active, assigned, worker_id = heapq.heappop(self._heap)
+            worker = self._pool[worker_id]
+            if (active, assigned) != (worker.active, worker.assigned_total):
+                # Stale key — reinsert at the live position and retry.
+                heapq.heappush(self._heap, (worker.active, worker.assigned_total, worker_id))
+                continue
+            if worker.tier_on(domain) < self._min_tier or not worker.has_capacity:
+                held_back.append((active, assigned, worker_id))
+                continue
+            self._pool.begin_assignment(worker_id)
+            # Held back until the task is fully routed: re-pushing now could
+            # make the same worker the minimum again, and one task must
+            # never be assigned to the same worker twice.
+            held_back.append((worker.active, worker.assigned_total, worker_id))
+            chosen.append(worker_id)
+        for entry in held_back:
+            heapq.heappush(self._heap, entry)
+        if not chosen:
+            raise NoEligibleWorkersError(f"no eligible worker with capacity on domain {domain!r}")
+        return chosen
+
+
+class DomainAffinityRouter(BaseRouter):
+    """Prefer the workers best qualified on the task's domain.
+
+    Fully qualified workers are ranked by qualification estimate
+    (descending), then by load, then by worker id; the fallback tier is
+    consulted only when the qualified tier cannot supply ``n_votes``
+    workers with spare capacity.
+    """
+
+    name = "domain_affinity"
+
+    def _ranked(self, domain: str, tier: QualificationTier) -> List[str]:
+        candidates = [
+            worker
+            for worker in self._pool.workers
+            if worker.tier_on(domain) == tier and worker.has_capacity
+        ]
+        candidates.sort(
+            key=lambda w: (-w.estimate_on(domain), w.active, w.assigned_total, w.worker_id)
+        )
+        return [worker.worker_id for worker in candidates]
+
+    def route(self, domain: str, n_votes: int) -> List[str]:
+        self._check_votes(n_votes)
+        chosen: List[str] = []
+        for tier in (QualificationTier.QUALIFIED, QualificationTier.FALLBACK):
+            if tier < self._min_tier:
+                break
+            for worker_id in self._ranked(domain, tier):
+                if len(chosen) >= n_votes:
+                    break
+                self._pool.begin_assignment(worker_id)
+                chosen.append(worker_id)
+            if len(chosen) >= n_votes:
+                break
+        if not chosen:
+            raise NoEligibleWorkersError(f"no eligible worker with capacity on domain {domain!r}")
+        return chosen
+
+
+register_router("round_robin", RoundRobinRouter, aliases=("rr",))
+register_router("least_loaded", LeastLoadedRouter, aliases=("ll",))
+register_router("domain_affinity", DomainAffinityRouter, aliases=("affinity",))
+
+
+__all__ = [
+    "BaseRouter",
+    "RouterFactory",
+    "RouterRegistry",
+    "GLOBAL_ROUTER_REGISTRY",
+    "NoEligibleWorkersError",
+    "RoundRobinRouter",
+    "LeastLoadedRouter",
+    "DomainAffinityRouter",
+    "register_router",
+    "make_router",
+    "router_names",
+    "router_exists",
+    "resolve_router_name",
+]

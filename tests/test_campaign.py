@@ -146,3 +146,40 @@ class TestValidation:
         with pytest.raises(KeyError) as excinfo:
             Campaign(dataset=DATASET, selector="not-a-selector")
         assert "ours" in str(excinfo.value)
+
+
+class TestServingHandoff:
+    def test_serving_service_runs_campaign_to_completion(self):
+        from repro.serving.qualification import QualificationTier
+
+        campaign = Campaign(dataset=DATASET, selector="ours", k=5, seed=0)
+        service = campaign.serving_service(router="round_robin")
+        assert campaign.finished
+        pool = service.pool
+        assert pool.worker_ids == campaign.result().selected_worker_ids
+        # Every selected worker is routable on the target domain.
+        target = campaign._instance.target_domain
+        assert all(pool[w].tier_on(target) >= QualificationTier.FALLBACK for w in pool.worker_ids)
+        # Prior-domain history qualifies workers beyond the target domain.
+        prior = campaign._instance.prior_domains[0]
+        assert any(prior in pool[w].qualifications for w in pool.worker_ids)
+
+    def test_serve_routes_the_working_set_by_default(self):
+        report = Campaign(dataset=DATASET, selector="us", k=5, seed=1).serve(router="round_robin")
+        n_working = 100  # the synthetic datasets' working-task count
+        assert report.n_tasks_routed == n_working
+        assert report.n_answers == 3 * n_working
+        assert set(report.labels) == {a.task_id for a in report.assignments}
+        assert 0.0 <= report.label_accuracy <= 1.0
+
+    def test_selector_without_estimates_still_serves(self):
+        # 'random' produces no estimated_accuracies; workers must land in
+        # the fallback tier (unknown), not become unroutable.
+        report = Campaign(dataset=DATASET, selector="random", k=5, seed=0).serve(n_tasks=20)
+        assert report.n_tasks_routed == 20
+
+    def test_report_json_round_trips(self):
+        report = Campaign(dataset=DATASET, selector="us", k=5, seed=0).serve(n_tasks=10)
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["n_tasks_routed"] == 10
+        assert payload["tasks_per_second"] >= 0

@@ -69,3 +69,52 @@ class TestRunCommand:
         assert main(["run", "--dataset", "S-1", "--selector", "me", "--stream"]) == 0
         out = capsys.readouterr().out
         assert "round 1/" in out
+
+
+class TestServeCommand:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.experiment == "serve"
+        assert args.router == "domain_affinity"
+        assert args.votes == 3
+        assert args.tasks is None
+        assert args.budget is None
+
+    def test_unknown_router_rejected_at_parse_time(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--router", "nope"])
+        stderr = capsys.readouterr().err
+        assert "least_loaded" in stderr  # the error lists the valid choices
+
+    def test_router_aliases_accepted(self):
+        args = build_parser().parse_args(["serve", "--router", "LL"])
+        assert args.router == "ll"
+
+    def test_serve_json_prints_a_valid_serving_report(self, capsys):
+        assert main(
+            ["serve", "--dataset", "S-1", "--selector", "us", "--k", "5", "--tasks", "40", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["router"] == "domain_affinity"
+        assert payload["n_tasks_routed"] == 40
+        assert payload["n_answers"] == 120
+        assert len(payload["labels"]) == 40
+        assert 0.0 <= payload["label_accuracy"] <= 1.0
+        assert payload["tasks_per_second"] > 0
+
+    def test_serve_human_output_mentions_drift_and_reselection(self, capsys):
+        assert main(
+            ["serve", "--dataset", "S-1", "--selector", "us", "--k", "5", "--tasks", "30",
+             "--router", "least_loaded", "--aggregator", "majority"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "served 30 working tasks via least_loaded" in out
+        assert "drift events" in out
+        assert "re-selection recommended" in out
+
+    def test_serve_budget_reported(self, capsys):
+        assert main(
+            ["serve", "--dataset", "S-1", "--selector", "us", "--k", "5", "--tasks", "30", "--budget", "45"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "serving budget: 45/45 (exhausted)" in out

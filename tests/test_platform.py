@@ -16,6 +16,9 @@ from repro.platform.budget import (
 from repro.platform.history import AnswerHistory, RoundRecord
 from repro.platform.session import AnnotationEnvironment, BudgetExceededError
 from repro.platform.tasks import TaskKind, generate_task_bank
+from repro.workers.behavior import StaticWorker
+from repro.workers.pool import WorkerPool
+from tests.conftest import make_profile
 
 
 class TestTasks:
@@ -120,6 +123,76 @@ class TestBudget:
             per_round_budget(100, 0)
         with pytest.raises(ValueError):
             default_total_budget(10, 2, 0)
+
+
+class TestAssignmentEdgeCases:
+    """Task-bank exhaustion, zero-length rounds and start-index continuity."""
+
+    def bank(self, n_learning=5):
+        return generate_task_bank("d", n_learning, 0, rng=0)
+
+    def test_bank_exhaustion_mid_round_cycles_sequentially(self):
+        # Round asks for 4 tasks starting at index 3 of a 5-task bank: the
+        # batch must wrap to the bank's start, not truncate or raise.
+        assignment = build_round_assignment(self.bank(), ["w0", "w1"], round_index=1, start_index=3, tasks_per_worker=4)
+        indices = [int(task.task_id.rsplit("-", 1)[1]) for task in assignment.tasks]
+        assert indices == [3, 4, 0, 1]
+        assert assignment.next_start_index == 7  # r_{c+1} keeps counting past the bank size
+
+    def test_zero_length_round_consumes_nothing(self):
+        assignment = build_round_assignment(self.bank(), ["w0"], round_index=1, start_index=2, tasks_per_worker=0)
+        assert assignment.tasks == ()
+        assert assignment.tasks_per_worker == 0
+        assert assignment.total_assignments == 0
+        assert assignment.next_start_index == 2  # the cursor must not move
+
+    def test_next_start_index_continuity_across_rounds(self):
+        bank = self.bank(n_learning=6)
+        start = 0
+        seen = []
+        for round_index, batch in enumerate([4, 0, 5], start=1):
+            assignment = build_round_assignment(bank, ["w0"], round_index, start, batch)
+            seen.extend(int(task.task_id.rsplit("-", 1)[1]) for task in assignment.tasks)
+            start = assignment.next_start_index
+        # 4 tasks, an empty round, then 5 more: indices continue 0..3, 4,5,0,1,2.
+        assert seen == [0, 1, 2, 3, 4, 5, 0, 1, 2]
+        assert start == 9
+
+
+class TestEnvironmentEdgeCases:
+    """The same edge cases driven through AnnotationEnvironment."""
+
+    def environment(self, n_learning=8, total_budget=100):
+        pool = WorkerPool([StaticWorker(make_profile(f"s-{i}", {"a": 0.8}, {"a": 5}), 0.8) for i in range(2)])
+        schedule = compute_budget(pool_size=2, k=1, total_budget=total_budget)
+        bank = generate_task_bank("t", n_learning=n_learning, n_working=4, rng=1)
+        return AnnotationEnvironment(pool, bank, schedule, ["a"], rng=2, batch_size=4)
+
+    def test_zero_task_round_is_recorded_but_free(self):
+        environment = self.environment()
+        record = environment.run_learning_round(environment.worker_ids, 0)
+        assert record.tasks_per_worker == 0
+        assert all(answers.size == 0 for answers in record.correctness.values())
+        assert environment.spent_budget == 0
+        assert len(environment.history) == 1
+        # The task cursor did not move: the next round starts at the bank's head.
+        follow_up = environment.run_learning_round(environment.worker_ids, 2)
+        assert follow_up.tasks_per_worker == 2
+        assert environment.spent_budget == 4
+
+    def test_exhaustion_mid_round_flags_cycling_in_summary(self):
+        environment = self.environment(n_learning=8, total_budget=100)
+        assert environment.summary()["learning_tasks_cycled"] is False
+        environment.run_learning_round(environment.worker_ids, 6)
+        environment.run_learning_round(environment.worker_ids, 6)  # crosses the 8-task bank
+        assert environment.summary()["learning_tasks_cycled"] is True
+
+    def test_round_indices_stay_continuous_after_zero_round(self):
+        environment = self.environment()
+        first = environment.run_learning_round(environment.worker_ids, 0)
+        second = environment.run_learning_round(environment.worker_ids, 3)
+        assert (first.round_index, second.round_index) == (1, 2)
+        assert environment.history.cumulative_exposure("s-0") == 3
 
 
 class TestAssignment:
