@@ -1,0 +1,225 @@
+"""Hot-path benchmark: round answer simulation across pool sizes and engines.
+
+Simulating a learning round's answers is the platform's innermost loop —
+every selector triggers it once per elimination round for every surviving
+worker.  This benchmark times :meth:`AnnotationEnvironment.run_learning_round`
+directly — reference engine (per-worker loop) vs. vectorized engine (one
+accuracy matrix + one Bernoulli draw) — on contaminated pools exercising
+every built-in behaviour, from the paper's scale (40 workers) up to
+platform scale (2560 workers).  It doubles as a correctness probe: for
+every pool size the two engines' correctness records are compared
+bit-for-bit and the run aborts on any mismatch.
+
+Run it as a script (the pytest suite does not collect it):
+
+    PYTHONPATH=src python benchmarks/bench_answer_sim.py
+    PYTHONPATH=src python benchmarks/bench_answer_sim.py \
+        --pool-sizes 40 160 --repeats 2 --output /tmp/bench.json
+
+The machine-readable output seeds the repo's perf trajectory
+(``BENCH_answer_sim.json``); its schema is documented in the README's
+"Scenario catalog" section and stamped into the payload as
+``schema_version``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.platform.budget import compute_budget
+from repro.platform.session import AnnotationEnvironment
+from repro.platform.tasks import TaskBank, generate_task_bank
+from repro.workers.pool import WorkerPool
+from repro.workers.population import PopulationConfig, sample_learning_population
+
+SCHEMA_VERSION = 1
+
+DEFAULT_POOL_SIZES = (40, 160, 640, 2560)
+DEFAULT_TASKS_PER_WORKER = 20
+DEFAULT_N_ROUNDS = 3
+
+#: Every built-in contamination behaviour is present so the benchmark
+#: exercises the full class-grouped accuracy-matrix path.
+CONTAMINATION_MIX = {
+    "spammer": 0.05,
+    "adversarial": 0.05,
+    "fatigue": 0.05,
+    "sleeper": 0.05,
+    "drifter": 0.05,
+}
+
+
+def build_pool(n_workers: int, seed: int = 0) -> WorkerPool:
+    """A contaminated learning pool at the RW-1 domain structure."""
+    config = PopulationConfig(
+        prior_domains=("d1", "d2", "d3"),
+        target_domain="t",
+        prior_means=(0.7, 0.8, 0.6),
+        prior_stds=(0.15, 0.1, 0.2),
+        target_mean=0.6,
+        target_std=0.15,
+        reference_exposure=DEFAULT_TASKS_PER_WORKER,
+        behavior_mix=CONTAMINATION_MIX,
+    )
+    return WorkerPool(sample_learning_population(config, n_workers, rng=seed))
+
+
+def build_bank(n_rounds: int, tasks_per_worker: int) -> TaskBank:
+    return generate_task_bank(
+        "t", n_learning=n_rounds * tasks_per_worker + tasks_per_worker, n_working=50, rng=0
+    )
+
+
+def make_environment(pool: WorkerPool, bank: TaskBank, engine: str, tasks_per_worker: int, n_rounds: int) -> AnnotationEnvironment:
+    schedule = compute_budget(
+        pool_size=len(pool), k=max(len(pool) // 8, 1), total_budget=len(pool) * tasks_per_worker * (n_rounds + 1)
+    )
+    return AnnotationEnvironment(
+        pool,
+        bank,
+        schedule,
+        ["d1", "d2", "d3"],
+        rng=7,
+        batch_size=tasks_per_worker,
+        answer_engine=engine,
+    )
+
+
+def time_engine(
+    engine: str,
+    pool: WorkerPool,
+    bank: TaskBank,
+    tasks_per_worker: int,
+    n_rounds: int,
+    repeats: int,
+) -> float:
+    """Best-of-``repeats`` mean wall time of one learning round."""
+    per_round: List[float] = []
+    for _ in range(repeats):
+        environment = make_environment(pool, bank, engine, tasks_per_worker, n_rounds)
+        start = time.perf_counter()
+        for round_index in range(1, n_rounds + 1):
+            environment.run_learning_round(environment.worker_ids, tasks_per_worker, round_index=round_index)
+        per_round.append((time.perf_counter() - start) / n_rounds)
+    return min(per_round)
+
+
+def engine_agreement(pool: WorkerPool, bank: TaskBank, tasks_per_worker: int, n_rounds: int) -> bool:
+    """Whether both engines produce bit-identical correctness records."""
+    records: Dict[str, List] = {}
+    for engine in ("reference", "vectorized"):
+        environment = make_environment(pool, bank, engine, tasks_per_worker, n_rounds)
+        records[engine] = [
+            environment.run_learning_round(environment.worker_ids, tasks_per_worker, round_index=r)
+            for r in range(1, n_rounds + 1)
+        ]
+    for ref, fast in zip(records["reference"], records["vectorized"]):
+        for worker_id, answers in ref.correctness.items():
+            if not np.array_equal(answers, fast.correctness[worker_id]):
+                return False
+    return True
+
+
+def run_benchmark(
+    pool_sizes: Sequence[int],
+    tasks_per_worker: int = DEFAULT_TASKS_PER_WORKER,
+    n_rounds: int = DEFAULT_N_ROUNDS,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Time both engines over the pool-size sweep and assemble the payload."""
+    results: List[Dict[str, object]] = []
+    for n_workers in pool_sizes:
+        pool = build_pool(n_workers)
+        bank = build_bank(n_rounds, tasks_per_worker)
+        identical = engine_agreement(pool, bank, tasks_per_worker, n_rounds)
+        if not identical:
+            raise AssertionError(f"engines disagree at {n_workers} workers — vectorization bug")
+        reference_s = time_engine("reference", pool, bank, tasks_per_worker, n_rounds, repeats)
+        vectorized_s = time_engine("vectorized", pool, bank, tasks_per_worker, n_rounds, repeats)
+        row: Dict[str, object] = {
+            "n_workers": int(n_workers),
+            "round_reference_s": reference_s,
+            "round_vectorized_s": vectorized_s,
+            "round_speedup": reference_s / vectorized_s,
+            "answers_per_s_reference": n_workers * tasks_per_worker / reference_s,
+            "answers_per_s_vectorized": n_workers * tasks_per_worker / vectorized_s,
+            "identical_records": identical,
+        }
+        results.append(row)
+        print(
+            f"  {n_workers:>5} workers | reference {reference_s * 1e3:8.2f}ms | "
+            f"vectorized {vectorized_s * 1e3:7.2f}ms | speedup {row['round_speedup']:5.1f}x | "
+            f"{row['answers_per_s_vectorized']:,.0f} answers/s | identical {identical}"
+        )
+    return {
+        "benchmark": "answer_sim",
+        "schema_version": SCHEMA_VERSION,
+        "config": {
+            "tasks_per_worker": tasks_per_worker,
+            "n_rounds": n_rounds,
+            "repeats": repeats,
+            "contamination_mix": CONTAMINATION_MIX,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "results": results,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--pool-sizes",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_POOL_SIZES),
+        help=f"worker-pool sizes to sweep (default: {' '.join(map(str, DEFAULT_POOL_SIZES))})",
+    )
+    parser.add_argument(
+        "--tasks-per-worker",
+        type=int,
+        default=DEFAULT_TASKS_PER_WORKER,
+        help=f"learning tasks per worker per round (default {DEFAULT_TASKS_PER_WORKER})",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=DEFAULT_N_ROUNDS, help=f"rounds per run (default {DEFAULT_N_ROUNDS})"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repetitions; best-of is reported"
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_answer_sim.json",
+        help="path of the machine-readable result (default: BENCH_answer_sim.json)",
+    )
+    args = parser.parse_args(argv)
+
+    print(
+        f"answer-simulation benchmark — {args.tasks_per_worker} tasks/worker, "
+        f"{args.rounds} rounds, repeats={args.repeats}"
+    )
+    payload = run_benchmark(
+        args.pool_sizes,
+        tasks_per_worker=args.tasks_per_worker,
+        n_rounds=args.rounds,
+        repeats=args.repeats,
+    )
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,12 @@ End-to-end walk through the serving layer on the S-1 dataset:
 3. print the aggregated labels, the per-worker load, and the drift log —
    including a second run where one selected worker is deliberately
    degraded mid-stream, so the EWMA drift detector demotes it and (once
-   enough of the pool drifts) raises the re-selection signal.
+   enough of the pool drifts) raises the re-selection signal;
+4. repeat the exercise with a *drifter-contaminated scenario pool*
+   (``S-1:drift20`` with the step pushed past the training schedule): the
+   drifters look healthy through selection, survive into the serving pool,
+   then collapse mid-stream — and the drift detector catches them without
+   any hand-injected degradation.
 
 Run with::
 
@@ -19,10 +24,20 @@ Run with::
 
 from __future__ import annotations
 
+from collections import defaultdict
+from dataclasses import replace
+
 import numpy as np
 
-from repro import Campaign
-from repro.serving import DriftConfig, ServingConfig, working_task_stream
+from repro import Campaign, DrifterWorker, make_selector
+from repro.datasets import get_spec, scenario_spec
+from repro.serving import (
+    AnnotationService,
+    DriftConfig,
+    ServingConfig,
+    ServingPool,
+    working_task_stream,
+)
 
 N_TASKS = 200
 
@@ -79,9 +94,74 @@ def run_degrading_pool() -> None:
     print(f"re-selection recommended: {report.reselection_recommended}")
 
 
+def run_drifter_scenario() -> None:
+    """A contaminated scenario pool whose drifters collapse during *serving*.
+
+    The ``drift20`` scenario normally drifts workers mid-campaign (so good
+    selectors filter them); here the step is pushed past the training
+    schedule via ``behavior_params``, producing sleeper cells: workers whose
+    training answers are flawless and whose accuracy collapses only once
+    real annotation traffic flows.
+    """
+    scenario = scenario_spec(get_spec("S-1"), "drift20")
+    # The full S-1 training schedule exposes every surviving worker to 140
+    # golden questions; a drift step at 160 is invisible during selection.
+    population = replace(
+        scenario.population,
+        behavior_params={"drifter": {"drift_exposure": 160.0, "drifted_accuracy": 0.25}},
+    )
+    instance = scenario.with_overrides(population=population).instantiate(seed=4)
+    environment = instance.environment(run_seed=0)
+    result = make_selector("ours", seed=0, cpe_epochs=8).select(environment, k=5)
+    sleepers = [
+        worker_id
+        for worker_id in result.selected_worker_ids
+        if isinstance(instance.pool[worker_id], DrifterWorker)
+    ]
+    print(f"\n--- drifter scenario: {instance.name}, selection by 'ours' ---")
+    print(f"selected {len(result.selected_worker_ids)} workers; sleeper drifters among them: {sleepers or 'none'}")
+
+    pool = ServingPool.from_selection(
+        worker_ids=result.selected_worker_ids,
+        target_domain=instance.target_domain,
+        target_estimates=result.estimated_accuracies,
+        training_questions={
+            worker_id: environment.history.cumulative_exposure(worker_id)
+            for worker_id in result.selected_worker_ids
+        },
+        profiles={worker.worker_id: worker.profile for worker in instance.pool},
+    )
+    served = defaultdict(int)
+    rng = np.random.default_rng(9)
+
+    def live_oracle(worker_id, task):
+        """Answers follow each behaviour's *live* curve: exposure keeps growing."""
+        behavior = instance.pool[worker_id]
+        accuracy = behavior.accuracy_at(behavior.training_exposure + served[worker_id])
+        served[worker_id] += 1
+        correct = rng.uniform() < accuracy
+        return task.gold_label if correct else not task.gold_label
+
+    service = AnnotationService(
+        pool,
+        ServingConfig(router="round_robin", votes_per_task=3, drift=DriftConfig()),
+        answer_oracle=live_oracle,
+    )
+    report = service.serve(working_task_stream(instance.task_bank, N_TASKS * 2))
+    for event in report.drift_events:
+        print(
+            f"  drift: {event.worker_id} on {event.domain} after {event.n_observations} answers "
+            f"(ewma {event.ewma:.3f}, baseline {event.baseline:.3f})"
+        )
+    if not report.drift_events:
+        print("  no drift events (try another seed)")
+    print(f"re-selection recommended: {report.reselection_recommended}")
+
+
 def main() -> None:
     run_healthy_pool()
     run_degrading_pool()
+    run_drifter_scenario()
 
 
 if __name__ == "__main__":

@@ -39,6 +39,15 @@ online aggregation and drift detection over the selected pool:
 Routing policies are registry-addressable too (``repro.router_names()``)
 and extend with the ``@register_router`` decorator.
 
+Worker *behaviours* have their own registry (``repro.behavior_names()``,
+``@register_behavior``): beyond the paper's learning workers, pools can be
+contaminated with spammers, adversarial, fatigued, sleeper and drifting
+workers via scenario-qualified dataset names:
+
+>>> report = Campaign(dataset="S-1:spam10", selector="ours", k=5, seed=0).run()
+>>> len(report.selected_worker_ids)
+5
+
 The lower-level objects (datasets, environments, selector classes) remain
 available for harness-style use:
 
@@ -76,7 +85,16 @@ from repro.core import (
     selector_exists,
     selector_names,
 )
-from repro.datasets import DATASET_NAMES, DatasetInstance, DatasetSpec, load_dataset
+from repro.datasets import (
+    DATASET_NAMES,
+    SCENARIO_RECIPES,
+    DatasetInstance,
+    DatasetSpec,
+    load_dataset,
+    parse_scenario,
+    scenario_names,
+    scenario_spec,
+)
 from repro.evaluation import compare_selectors, evaluate_selector, ground_truth_accuracy
 from repro.platform import AnnotationEnvironment, BudgetSchedule, compute_budget
 from repro.serving import (
@@ -95,9 +113,23 @@ from repro.serving import (
     router_exists,
     router_names,
 )
-from repro.workers import LearningWorker, StaticWorker, WorkerPool, WorkerProfile
+from repro.workers import (
+    AdversarialWorker,
+    DrifterWorker,
+    FatigueWorker,
+    LearningWorker,
+    SleeperWorker,
+    SpammerWorker,
+    StaticWorker,
+    WorkerPool,
+    WorkerProfile,
+    behavior_exists,
+    behavior_names,
+    make_behavior,
+    register_behavior,
+)
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",
@@ -127,11 +159,15 @@ __all__ = [
     "OursSelector",
     "RandomSelector",
     "OracleSelector",
-    # Datasets
+    # Datasets + scenarios
     "DATASET_NAMES",
+    "SCENARIO_RECIPES",
     "DatasetSpec",
     "DatasetInstance",
     "load_dataset",
+    "parse_scenario",
+    "scenario_spec",
+    "scenario_names",
     # Platform / workers
     "AnnotationEnvironment",
     "BudgetSchedule",
@@ -140,6 +176,16 @@ __all__ = [
     "WorkerProfile",
     "LearningWorker",
     "StaticWorker",
+    # Behavior registry + contamination behaviors
+    "register_behavior",
+    "make_behavior",
+    "behavior_names",
+    "behavior_exists",
+    "SpammerWorker",
+    "AdversarialWorker",
+    "FatigueWorker",
+    "SleeperWorker",
+    "DrifterWorker",
     # Serving layer
     "AnnotationService",
     "DriftConfig",

@@ -14,6 +14,19 @@ Select workers on S-1 and serve 200 working tasks through the selected pool::
 
     repro-crowd serve --dataset S-1 --selector ours --router domain_affinity --tasks 200
 
+Run a campaign on a contaminated pool (10% spammers)::
+
+    repro-crowd run --dataset S-1 --scenario spam10 --selector ours
+
+Sweep contamination rates and compare every method's robustness::
+
+    repro-crowd robustness --datasets S-1 --behavior spammer --rates 0 0.1 0.2 0.4
+
+List the registered worker behaviors / scenario recipes::
+
+    repro-crowd behaviors
+    repro-crowd scenarios
+
 Run the main results table on the two real-world datasets with 3 repetitions::
 
     repro-crowd table5 --datasets RW-1 RW-2 --repetitions 3
@@ -41,8 +54,15 @@ from typing import List, Optional, Sequence
 from repro.campaign import Campaign
 from repro.config import ExperimentConfig
 from repro.core.registry import selector_exists, selector_names
-from repro.datasets.registry import DATASET_NAMES
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    SCENARIO_RECIPES,
+    SCENARIO_SEPARATOR,
+    parse_scenario,
+)
+from repro.platform.answers import ANSWER_ENGINES
 from repro.serving.routing import router_exists, router_names
+from repro.workers.registry import behavior_names, describe_behavior
 
 EXPERIMENTS = (
     "table2",
@@ -58,13 +78,40 @@ EXPERIMENTS = (
 
 
 def _dataset_name(value: str) -> str:
-    """Argparse type: canonicalise a dataset name, rejecting typos at parse time."""
-    canonical = value.strip().upper()
+    """Argparse type: canonicalise a dataset (or scenario) name at parse time."""
+    base, _, recipe = value.partition(SCENARIO_SEPARATOR)
+    canonical = base.strip().upper()
     if canonical not in DATASET_NAMES:
         raise argparse.ArgumentTypeError(
-            f"unknown dataset {value!r}; choose from: {', '.join(DATASET_NAMES)}"
+            f"unknown dataset {base!r}; choose from: {', '.join(DATASET_NAMES)}"
         )
+    if recipe:
+        try:
+            parse_scenario(recipe)
+        except ValueError as exc:
+            raise argparse.ArgumentTypeError(str(exc))
+        return f"{canonical}{SCENARIO_SEPARATOR}{recipe.strip().lower()}"
     return canonical
+
+
+def _scenario_recipe(value: str) -> str:
+    """Argparse type: validate a contamination recipe against the grammar."""
+    try:
+        parse_scenario(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return value.strip().lower()
+
+
+def _apply_scenario(dataset: str, scenario: Optional[str]) -> str:
+    """Qualify ``dataset`` with ``--scenario`` unless it already carries one."""
+    if not scenario:
+        return dataset
+    if SCENARIO_SEPARATOR in dataset:
+        raise ValueError(
+            f"dataset {dataset!r} already carries a scenario; drop --scenario or the ':<recipe>' suffix"
+        )
+    return f"{dataset}{SCENARIO_SEPARATOR}{scenario}"
 
 
 def _selector_name(value: str) -> str:
@@ -170,6 +217,78 @@ def build_parser() -> argparse.ArgumentParser:
     experiments_parser.add_argument(
         "--progress", action="store_true", help="print one line per completed work unit to stderr"
     )
+    experiments_parser.add_argument(
+        "--scenario",
+        type=_scenario_recipe,
+        default=None,
+        metavar="RECIPE",
+        help="contaminate every dataset with a scenario recipe (e.g. 'spam10', 'mixed30')",
+    )
+
+    robustness_parser = subparsers.add_parser(
+        "robustness",
+        parents=[artefact_options],
+        help="sweep pool-contamination rates and compare every method's selection quality",
+        description=(
+            "Contamination robustness sweep: for each dataset and each "
+            "--rates value r, run the comparison grid on the scenario "
+            "'<dataset>:<behavior><r*100>' (r=0 is the clean pool) and "
+            "report selection accuracy and precision@k per method."
+        ),
+    )
+    robustness_parser.add_argument(
+        "--behavior",
+        default="spammer",
+        metavar="NAME",
+        help=f"behavior injected into the pool (default 'spammer'); choices: {', '.join(behavior_names())}",
+    )
+    robustness_parser.add_argument(
+        "--rates",
+        nargs="+",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="contamination rates as fractions (default: 0 0.1 0.2 0.4)",
+    )
+    robustness_parser.add_argument(
+        "--methods",
+        nargs="+",
+        type=_selector_name,
+        default=None,
+        metavar="NAME",
+        help="methods to run (default: the Table V roster)",
+    )
+    robustness_parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="JSONL result store: one atomic record per completed work unit",
+    )
+    robustness_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip work units already recorded in --store (requires --store)",
+    )
+    robustness_parser.add_argument(
+        "--progress", action="store_true", help="print one line per completed work unit to stderr"
+    )
+
+    behaviors_parser = subparsers.add_parser(
+        "behaviors",
+        help="list the registered worker behaviors",
+        description="List every registered worker behavior with its factory signature.",
+    )
+    behaviors_parser.add_argument("--json", action="store_true", help="print the list as JSON")
+
+    scenarios_parser = subparsers.add_parser(
+        "scenarios",
+        help="list the named scenario recipes and the recipe grammar",
+        description=(
+            "List the named contamination recipes and explain the scenario "
+            "grammar '<dataset>:<behavior><percent>[+<behavior><percent>...]'."
+        ),
+    )
+    scenarios_parser.add_argument("--json", action="store_true", help="print the list as JSON")
 
     run_parser = subparsers.add_parser(
         "run",
@@ -189,6 +308,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("--k", type=int, default=None, help="workers to select (default: the dataset's k)")
     run_parser.add_argument("--seed", type=int, default=0, help="campaign seed (default 0)")
+    run_parser.add_argument(
+        "--scenario",
+        type=_scenario_recipe,
+        default=None,
+        metavar="RECIPE",
+        help="contaminate the dataset's pool (e.g. 'spam10', 'adversarial20+drift10', 'mixed30')",
+    )
+    run_parser.add_argument(
+        "--answer-engine",
+        choices=ANSWER_ENGINES,
+        default="vectorized",
+        help="answer-simulation engine (default 'vectorized'; engines are bit-identical)",
+    )
     run_parser.add_argument(
         "--tasks-per-batch", type=int, default=None, help="override the dataset's per-batch task count Q"
     )
@@ -220,6 +352,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument("--k", type=int, default=None, help="workers to select (default: the dataset's k)")
     serve_parser.add_argument("--seed", type=int, default=0, help="campaign + serving seed (default 0)")
+    serve_parser.add_argument(
+        "--scenario",
+        type=_scenario_recipe,
+        default=None,
+        metavar="RECIPE",
+        help="contaminate the dataset's pool (e.g. 'drift20' exercises the drift detector)",
+    )
     serve_parser.add_argument(
         "--router",
         type=_router_name,
@@ -264,6 +403,12 @@ def _run_experiments(args: argparse.Namespace) -> int:
         return 2
 
     datasets = args.datasets if args.datasets is not None else list(DATASET_NAMES)
+    if args.scenario:
+        try:
+            datasets = [_apply_scenario(dataset, args.scenario) for dataset in datasets]
+        except ValueError as exc:
+            print(f"repro-crowd experiments: error: {exc}", file=sys.stderr)
+            return 2
     methods = args.methods
 
     def _progress(done: int, total: int, unit: Optional[WorkUnit]) -> None:
@@ -305,11 +450,12 @@ def _run_campaign(args: argparse.Namespace) -> int:
         # user errors, not crashes.  Errors past this point are real bugs and
         # keep their tracebacks.
         campaign = Campaign(
-            dataset=args.dataset,
+            dataset=_apply_scenario(args.dataset, args.scenario),
             selector=args.selector,
             k=args.k,
             seed=args.seed,
             tasks_per_batch=args.tasks_per_batch,
+            answer_engine=args.answer_engine,
             selector_config=selector_config,
         )
     except (KeyError, TypeError, ValueError) as exc:
@@ -354,7 +500,12 @@ def _report_campaign(campaign: Campaign, args: argparse.Namespace) -> int:
 def _serve_campaign(args: argparse.Namespace) -> int:
     """The ``repro-crowd serve`` subcommand: selection + serving handoff."""
     try:
-        campaign = Campaign(dataset=args.dataset, selector=args.selector, k=args.k, seed=args.seed)
+        campaign = Campaign(
+            dataset=_apply_scenario(args.dataset, args.scenario),
+            selector=args.selector,
+            k=args.k,
+            seed=args.seed,
+        )
         report = campaign.serve(
             n_tasks=args.tasks,
             router=args.router,
@@ -395,6 +546,71 @@ def _serve_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_robustness(args: argparse.Namespace) -> int:
+    """The ``repro-crowd robustness`` subcommand: the contamination sweep."""
+    from repro.experiments import format_table
+    from repro.experiments.robustness import DEFAULT_CONTAMINATION_RATES, run_robustness
+    from repro.experiments.runner import WorkUnit
+
+    if args.resume and args.store is None:
+        print("repro-crowd robustness: error: --resume requires --store", file=sys.stderr)
+        return 2
+    rates = args.rates if args.rates is not None else list(DEFAULT_CONTAMINATION_RATES)
+
+    def _progress(done: int, total: int, unit: Optional[WorkUnit]) -> None:
+        if unit is None:
+            print(f"resumed: {done}/{total} work units already in {args.store}", file=sys.stderr)
+        else:
+            print(f"[{done}/{total}] {unit.dataset} {unit.method} rep={unit.repetition}", file=sys.stderr)
+
+    try:
+        rows = run_robustness(
+            args.datasets,
+            behavior=args.behavior,
+            contamination_rates=rates,
+            config=_config_from_args(args),
+            methods=args.methods,
+            store_path=args.store,
+            resume=args.resume,
+            progress=_progress if args.progress else None,
+        )
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args and isinstance(exc.args[0], str) else exc
+        print(f"repro-crowd robustness: error: {message}", file=sys.stderr)
+        return 2
+    print(format_table(rows))
+    return 0
+
+
+def _list_behaviors(args: argparse.Namespace) -> int:
+    """The ``repro-crowd behaviors`` subcommand: registry listing."""
+    names = behavior_names()
+    if args.json:
+        print(json.dumps({name: describe_behavior(name) for name in names}, indent=2, sort_keys=True))
+        return 0
+    print("registered worker behaviors:")
+    for name in names:
+        print(f"  {describe_behavior(name)}")
+    return 0
+
+
+def _list_scenarios(args: argparse.Namespace) -> int:
+    """The ``repro-crowd scenarios`` subcommand: recipes + grammar."""
+    if args.json:
+        print(json.dumps({name: dict(mix) for name, mix in sorted(SCENARIO_RECIPES.items())}, indent=2))
+        return 0
+    print("named scenario recipes (usable as '<dataset>:<recipe>' or --scenario <recipe>):")
+    for name, mix in sorted(SCENARIO_RECIPES.items()):
+        composition = ", ".join(f"{int(f * 100)}% {b}" for b, f in sorted(mix.items())) or "no contamination"
+        print(f"  {name}: {composition}")
+    print()
+    print("recipe grammar: <behavior><percent> joined with '+', e.g. 'spam10' or 'adversarial20+drift10'")
+    print(f"behaviors: {', '.join(behavior_names())} (aliases: spam, adv, drift, sleep)")
+    print("examples: repro-crowd run --dataset S-1 --scenario spam10")
+    print("          repro-crowd robustness --datasets S-1 --behavior adversarial --rates 0 0.2 0.4")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -405,6 +621,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _serve_campaign(args)
     if args.experiment == "experiments":
         return _run_experiments(args)
+    if args.experiment == "robustness":
+        return _run_robustness(args)
+    if args.experiment == "behaviors":
+        return _list_behaviors(args)
+    if args.experiment == "scenarios":
+        return _list_scenarios(args)
 
     # Artefact regeneration commands share ExperimentConfig-shaped options.
     from repro.experiments import (

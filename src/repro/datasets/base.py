@@ -48,6 +48,12 @@ class DatasetSpec:
         Size of the working-task set used for evaluation.
     description:
         Human-readable provenance note.
+    seed_name:
+        Name used for seed derivation when it differs from ``name``.
+        Scenario variants (``"S-1:spammer10"``) set this to the base
+        dataset's name so the clean portion of a contaminated pool — and
+        the task bank — is *identical* to the uncontaminated draw of the
+        same seed, making contamination sweeps paired comparisons.
     """
 
     name: str
@@ -57,6 +63,7 @@ class DatasetSpec:
     k: int
     n_working_tasks: int = 100
     description: str = ""
+    seed_name: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.n_workers <= 0:
@@ -118,13 +125,17 @@ class DatasetSpec:
         The same ``seed`` always yields the same pool, so the elimination
         methods compared in one experiment cell face identical workers.
         """
-        pool_seed = derive_seed(seed, self.name, "pool")
-        task_seed = derive_seed(seed, self.name, "tasks")
+        derivation_name = self.seed_name if self.seed_name is not None else self.name
+        pool_seed = derive_seed(seed, derivation_name, "pool")
+        task_seed = derive_seed(seed, derivation_name, "tasks")
+        # The id prefix follows the seed name so a scenario pool's workers
+        # carry the same ids (and thus the same per-worker answer streams)
+        # as the base dataset's — contamination sweeps stay paired.
         workers = sample_learning_population(
             self.population,
             n_workers=self.n_workers,
             rng=pool_seed,
-            id_prefix=self.name.lower(),
+            id_prefix=derivation_name.lower(),
         )
         schedule = self.schedule(k=k, tasks_per_batch=tasks_per_batch)
         # Enough distinct golden questions for a never-eliminated worker,
@@ -161,13 +172,16 @@ class DatasetInstance:
     def target_domain(self) -> str:
         return self.spec.target_domain
 
-    def environment(self, run_seed: SeedLike = None) -> AnnotationEnvironment:
+    def environment(self, run_seed: SeedLike = None, answer_engine: str = "vectorized") -> AnnotationEnvironment:
         """A fresh environment for one selection run.
 
         Worker training exposure is reset by the environment constructor, so
         every method / repetition starts from the same untrained pool.
+        ``answer_engine`` selects the answer-simulation path (engines are
+        bit-identical; ``"reference"`` exists for verification).
         """
-        answer_seed = derive_seed(self.seed, self.name, "answers", run_seed if run_seed is not None else 0)
+        derivation_name = self.spec.seed_name if self.spec.seed_name is not None else self.name
+        answer_seed = derive_seed(self.seed, derivation_name, "answers", run_seed if run_seed is not None else 0)
         return AnnotationEnvironment(
             pool=self.pool,
             task_bank=self.task_bank,
@@ -175,6 +189,7 @@ class DatasetInstance:
             prior_domains=self.prior_domains,
             rng=answer_seed,
             batch_size=self.spec.tasks_per_batch,
+            answer_engine=answer_engine,
         )
 
     # ------------------------------------------------------------------ #

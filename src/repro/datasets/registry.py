@@ -1,20 +1,140 @@
-"""Dataset registry: look up any of the six evaluation datasets by name."""
+"""Dataset registry: the six evaluation datasets plus contamination scenarios.
+
+Any of the paper's datasets can be looked up by name (``"S-1"``, ``"RW-2"``,
+...).  A **scenario** qualifies a base dataset with a contamination recipe —
+a mix of adversarial worker behaviours from the behaviour registry — using
+the grammar::
+
+    <base-dataset> ":" <recipe>
+    <recipe>  ::= <token> ("+" <token>)*         e.g. "spam10+drift20"
+    <token>   ::= <behavior><percent>            e.g. "spam10", "adversarial20"
+
+``<behavior>`` is any registered behaviour name or alias
+(:func:`repro.workers.registry.behavior_names`) and ``<percent>`` the
+integer share of the pool (1-90) replaced by it.  A few named recipes
+(:data:`SCENARIO_RECIPES`) cover common compositions, e.g. ``"mixed30"``.
+
+>>> from repro.datasets.registry import load_dataset
+>>> instance = load_dataset("S-1:spam10", seed=0)
+>>> instance.name
+'S-1:spammer10'
+
+Scenario pools are *paired* with their base dataset: the contamination draw
+consumes randomness after the base population draw and seed derivation uses
+the base name, so the clean workers (and the task bank) of ``"S-1:spam10"``
+are identical to ``"S-1"`` at the same seed.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import re
+from dataclasses import replace
+from typing import Dict, List, Mapping, Optional
 
 from repro.datasets.base import DatasetInstance, DatasetSpec
 from repro.datasets.realworld import rw1_spec, rw2_spec
 from repro.datasets.synthetic import synthetic_spec
 from repro.stats.rng import SeedLike
+from repro.workers.registry import resolve_behavior_name
 
 DATASET_NAMES: List[str] = ["RW-1", "RW-2", "S-1", "S-2", "S-3", "S-4"]
 
+#: Separator between a base dataset name and a contamination recipe.
+SCENARIO_SEPARATOR = ":"
+
+#: Named contamination recipes (resolved before the token grammar).  Keys are
+#: recipe names usable after the ``:`` of any base dataset.
+SCENARIO_RECIPES: Dict[str, Mapping[str, float]] = {
+    "clean": {},
+    "mixed20": {"spammer": 0.05, "adversarial": 0.05, "sleeper": 0.05, "drifter": 0.05},
+    "mixed30": {"spammer": 0.1, "adversarial": 0.1, "drifter": 0.1},
+    "hostile40": {"spammer": 0.2, "adversarial": 0.2},
+}
+
+_TOKEN_PATTERN = re.compile(r"^([a-zA-Z][a-zA-Z_-]*?)([1-9][0-9]?)$")
+
+
+def parse_scenario(recipe: str) -> Dict[str, float]:
+    """Parse a contamination recipe into ``{canonical behaviour: fraction}``.
+
+    Accepts a named recipe (``"mixed30"``) or ``+``-joined behaviour tokens
+    (``"spam10+drift20"``).  Raises :class:`ValueError` with the grammar on
+    anything else, so CLI ``--scenario`` arguments fail at parse time.
+    """
+    text = recipe.strip().lower()
+    if not text:
+        raise ValueError("empty scenario recipe")
+    if text in SCENARIO_RECIPES:
+        return {
+            resolve_behavior_name(name): float(fraction)
+            for name, fraction in SCENARIO_RECIPES[text].items()
+        }
+    mix: Dict[str, float] = {}
+    for token in text.split("+"):
+        match = _TOKEN_PATTERN.match(token.strip())
+        if match is None:
+            raise ValueError(
+                f"invalid scenario token {token!r}; expected <behavior><percent> "
+                f"(e.g. 'spam10') or one of the named recipes: {', '.join(sorted(SCENARIO_RECIPES))}"
+            )
+        name, percent = match.groups()
+        try:
+            canonical = resolve_behavior_name(name)
+        except KeyError as exc:
+            raise ValueError(str(exc.args[0] if exc.args else exc)) from exc
+        mix[canonical] = mix.get(canonical, 0.0) + int(percent) / 100.0
+    if sum(mix.values()) > 0.9 + 1e-9:
+        raise ValueError(
+            f"scenario recipe {recipe!r} contaminates {sum(mix.values()):.0%} of the pool; "
+            "at most 90% may be contaminated"
+        )
+    return mix
+
+
+def format_scenario(mix: Mapping[str, float]) -> str:
+    """Canonical recipe string of a behaviour mix (inverse of :func:`parse_scenario`)."""
+    return "+".join(f"{name}{round(fraction * 100)}" for name, fraction in sorted(mix.items()))
+
+
+def scenario_spec(base: DatasetSpec, recipe: str) -> DatasetSpec:
+    """A contaminated variant of ``base`` per the given recipe.
+
+    The returned spec's name is canonical (``"S-1:spammer10"``) and its
+    ``seed_name`` is the base name, so scenario pools share their clean
+    workers and task bank with the base dataset at any seed.
+    """
+    mix = parse_scenario(recipe)
+    if not mix:
+        return base
+    population = replace(base.population, behavior_mix=mix)
+    return base.with_overrides(
+        name=f"{base.name}{SCENARIO_SEPARATOR}{format_scenario(mix)}",
+        population=population,
+        description=(base.description + " " if base.description else "")
+        + f"Contaminated: {format_scenario(mix)}.",
+        seed_name=base.seed_name if base.seed_name is not None else base.name,
+    )
+
+
+def scenario_names(bases: Optional[List[str]] = None) -> List[str]:
+    """Canonical example scenario names (named recipes on every base dataset)."""
+    resolved_bases = bases if bases is not None else DATASET_NAMES
+    return [
+        f"{base}{SCENARIO_SEPARATOR}{recipe}"
+        for base in resolved_bases
+        for recipe in sorted(SCENARIO_RECIPES)
+        if recipe != "clean"
+    ]
+
 
 def get_spec(name: str) -> DatasetSpec:
-    """Return the specification of a dataset by (case-insensitive) name."""
-    canonical = name.strip().upper()
+    """Return the specification of a dataset or scenario by name.
+
+    Plain names (``"S-1"``) resolve to the paper's datasets; qualified names
+    (``"S-1:spam10"``) apply a contamination recipe to the base dataset.
+    """
+    base_name, _, recipe = name.partition(SCENARIO_SEPARATOR)
+    canonical = base_name.strip().upper()
     builders = {
         "RW-1": rw1_spec,
         "RW-2": rw2_spec,
@@ -25,7 +145,19 @@ def get_spec(name: str) -> DatasetSpec:
     }
     if canonical not in builders:
         raise KeyError(f"unknown dataset {name!r}; available: {', '.join(DATASET_NAMES)}")
-    return builders[canonical]()
+    spec = builders[canonical]()
+    if recipe:
+        spec = scenario_spec(spec, recipe)
+    return spec
+
+
+def dataset_exists(name: str) -> bool:
+    """Whether ``name`` is a valid dataset or scenario-qualified dataset name."""
+    try:
+        get_spec(name)
+    except (KeyError, ValueError):
+        return False
+    return True
 
 
 def load_dataset(
@@ -34,7 +166,7 @@ def load_dataset(
     k: Optional[int] = None,
     tasks_per_batch: Optional[int] = None,
 ) -> DatasetInstance:
-    """Instantiate a dataset by name with optional ``k`` / ``Q`` overrides."""
+    """Instantiate a dataset or scenario by name with optional ``k`` / ``Q`` overrides."""
     return get_spec(name).instantiate(seed=seed, k=k, tasks_per_batch=tasks_per_batch)
 
 
@@ -43,4 +175,16 @@ def all_specs() -> Dict[str, DatasetSpec]:
     return {name: get_spec(name) for name in DATASET_NAMES}
 
 
-__all__ = ["DATASET_NAMES", "get_spec", "load_dataset", "all_specs"]
+__all__ = [
+    "DATASET_NAMES",
+    "SCENARIO_SEPARATOR",
+    "SCENARIO_RECIPES",
+    "parse_scenario",
+    "format_scenario",
+    "scenario_spec",
+    "scenario_names",
+    "get_spec",
+    "dataset_exists",
+    "load_dataset",
+    "all_specs",
+]

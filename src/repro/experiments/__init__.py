@@ -15,6 +15,7 @@ can be consumed by the benchmark suite, the CLI, tests and notebooks alike;
 | Section V-H runtime                  | :func:`repro.experiments.runtime.run_runtime` |
 | Section V-H correlations             | :func:`repro.experiments.correlation.run_correlation_recovery` |
 | Section V-H training gain            | :func:`repro.experiments.training_gain.run_training_gain` |
+| Contamination robustness (new)       | :func:`repro.experiments.robustness.run_robustness` |
 """
 
 from repro.experiments.correlation import run_correlation_recovery
@@ -22,6 +23,7 @@ from repro.experiments.figure5 import run_figure5
 from repro.experiments.figure6 import run_figure6
 from repro.experiments.figure7 import run_figure7
 from repro.experiments.report import comparison_rows, format_table, results_to_markdown
+from repro.experiments.robustness import run_robustness
 from repro.experiments.runner import (
     DatasetResult,
     WorkUnit,
@@ -53,6 +55,7 @@ __all__ = [
     "run_runtime",
     "run_correlation_recovery",
     "run_training_gain",
+    "run_robustness",
     "format_table",
     "results_to_markdown",
 ]

@@ -1,0 +1,144 @@
+"""Robustness sweep: selection quality under pool contamination.
+
+The paper evaluates selection only against well-behaved learning workers —
+but real crowdsourcing pools contain spammers, adversaries and drifting
+workers, exactly the populations that motivate worker selection.  This
+runner measures how every method's selection accuracy and precision@k decay
+as the contamination rate grows: for each base dataset and each rate it
+builds the scenario ``"<base>:<behavior><rate>"`` (rate 0 is the clean base
+dataset) and runs the shared comparison protocol on it.
+
+Scenario pools are paired with the base dataset (identical clean workers and
+task bank per repetition seed), so the columns of the sweep isolate the
+*effect of contamination* rather than re-rolling the whole pool.
+
+The sweep rides the PR 3 work-unit runner: it shards over ``config.n_jobs``
+processes and can persist one JSONL record per completed unit through a
+:class:`~repro.experiments.store.ResultStore` (``store_path`` / ``resume``),
+so a long grid survives interruption.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import METHOD_ORDER, ExperimentConfig
+from repro.datasets.registry import SCENARIO_SEPARATOR, parse_scenario
+from repro.experiments.runner import ProgressCallback, run_method_comparison
+
+#: Contamination rates of the default sweep (fractions of the pool).
+DEFAULT_CONTAMINATION_RATES = (0.0, 0.1, 0.2, 0.4)
+
+#: Datasets swept when none are named (small enough for a laptop run).
+DEFAULT_ROBUSTNESS_DATASETS = ("S-1",)
+
+
+def scenario_name(base: str, behavior: str, rate: float) -> str:
+    """Scenario-qualified dataset name for one sweep cell (``rate`` in [0, 0.9])."""
+    percent = round(rate * 100)
+    if percent == 0:
+        return base
+    return f"{base}{SCENARIO_SEPARATOR}{behavior}{percent}"
+
+
+def run_robustness(
+    dataset_names: Optional[Sequence[str]] = None,
+    behavior: str = "spammer",
+    contamination_rates: Sequence[float] = DEFAULT_CONTAMINATION_RATES,
+    config: Optional[ExperimentConfig] = None,
+    methods: Optional[List[str]] = None,
+    store_path: Optional[str] = None,
+    resume: bool = False,
+    progress: Optional[ProgressCallback] = None,
+) -> List[Dict[str, object]]:
+    """Sweep contamination rates and compare every method's selection quality.
+
+    Parameters
+    ----------
+    dataset_names:
+        Base datasets to contaminate (default: ``S-1``).
+    behavior:
+        Registered behaviour (or alias) injected into the pool.
+    contamination_rates:
+        Fractions of the pool replaced by the behaviour; 0 is the clean
+        baseline.  Each must be expressible as a whole percentage in
+        [0, 0.9] (the scenario grammar).
+    config, methods:
+        Shared comparison knobs (repetitions, seeds, ``n_jobs``, roster).
+    store_path, resume, progress:
+        Result-store persistence, exactly as in
+        :func:`~repro.experiments.runner.run_method_comparison`; records are
+        keyed by the scenario-qualified dataset name.
+
+    Returns
+    -------
+    list of dict
+        One row per (dataset, rate, method) with ``accuracy``,
+        ``precision_at_k`` and the pool's ``ground_truth`` accuracy.
+    """
+    bases = list(dataset_names) if dataset_names is not None else list(DEFAULT_ROBUSTNESS_DATASETS)
+    config = config or ExperimentConfig()
+    for rate in contamination_rates:
+        if not 0.0 <= rate <= 0.9:
+            raise ValueError(f"contamination rates must lie in [0, 0.9], got {rate}")
+        if abs(rate * 100 - round(rate * 100)) > 1e-9:
+            raise ValueError(f"contamination rates must be whole percentages, got {rate}")
+    if any(round(rate * 100) > 0 for rate in contamination_rates):
+        # Validates the behaviour name (and the grammar) before any work runs.
+        parse_scenario(f"{behavior}{max(round(r * 100) for r in contamination_rates)}")
+
+    grid = [
+        (base, float(rate), scenario_name(base, behavior, rate))
+        for base in bases
+        for rate in contamination_rates
+    ]
+    # One comparison run over the whole scenario grid: units shard across
+    # processes globally and share one result store / fingerprint.
+    results = run_method_comparison(
+        [name for _, _, name in grid],
+        config=config,
+        methods=methods,
+        store_path=store_path,
+        resume=resume,
+        progress=progress,
+    )
+
+    method_list = list(methods) if methods is not None else list(METHOD_ORDER)
+    rows: List[Dict[str, object]] = []
+    for base, rate, name in grid:
+        result = results[name]
+        for method in method_list:
+            rows.append(
+                {
+                    "dataset": base,
+                    "behavior": behavior if rate > 0 else "clean",
+                    "rate": rate,
+                    "method": method,
+                    "accuracy": result.mean_accuracy(method),
+                    "precision_at_k": result.mean_precision(method),
+                    "ground_truth": result.ground_truth,
+                }
+            )
+    return rows
+
+
+def robustness_degradation(rows: Sequence[Dict[str, object]], dataset: str, method: str) -> Dict[str, float]:
+    """Accuracy drop of one method from the clean pool to each contaminated rate."""
+    series = {
+        float(row["rate"]): float(row["accuracy"])
+        for row in rows
+        if row["dataset"] == dataset and row["method"] == method
+    }
+    if 0.0 not in series:
+        raise ValueError(f"no clean baseline row for {method!r} on {dataset!r}")
+    baseline = series[0.0]
+    return {f"drop_at_{rate:g}": baseline - accuracy for rate, accuracy in sorted(series.items()) if rate > 0}
+
+
+__all__ = [
+    "DEFAULT_CONTAMINATION_RATES",
+    "DEFAULT_ROBUSTNESS_DATASETS",
+    "scenario_name",
+    "run_robustness",
+    "robustness_degradation",
+]

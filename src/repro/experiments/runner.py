@@ -121,9 +121,21 @@ class WorkUnit:
     def key(self) -> UnitKey:
         return (self.dataset, self.method, self.repetition, self.k, self.q)
 
-    def seeds(self, base_seed: int) -> Dict[str, int]:
-        """The unit's three derived streams (see :func:`work_unit_seed`)."""
-        shared = dict(dataset=self.dataset, repetition=self.repetition, k=self.k, q=self.q)
+    def seeds(self, base_seed: int, seed_dataset: Optional[str] = None) -> Dict[str, int]:
+        """The unit's three derived streams (see :func:`work_unit_seed`).
+
+        ``seed_dataset`` overrides the dataset token of the derivation.
+        Scenario cells pass their base dataset's name (the spec's
+        ``seed_name``) so every contamination rate of a robustness sweep
+        faces the *same* base pool draw and answer streams — the sweep
+        measures the contamination, not a pool re-roll.
+        """
+        shared = dict(
+            dataset=seed_dataset if seed_dataset is not None else self.dataset,
+            repetition=self.repetition,
+            k=self.k,
+            q=self.q,
+        )
         return {
             "instance_seed": work_unit_seed(base_seed, "instance", **shared),
             "environment_seed": work_unit_seed(base_seed, "environment", **shared),
@@ -197,7 +209,7 @@ def execute_work_unit(unit: WorkUnit, spec: DatasetSpec, config: ExperimentConfi
     answer noise and the selector's exploration stream are all derived from
     the unit key, so the same unit yields the same record in any process.
     """
-    seeds = unit.seeds(config.base_seed)
+    seeds = unit.seeds(config.base_seed, seed_dataset=spec.seed_name)
     instance = spec.instantiate(seed=seeds["instance_seed"], k=unit.k)
     ground_truth = instance.ground_truth_mean_accuracy(unit.k)
     selector = config.make_selector(unit.method, seed=seeds["selector_seed"])

@@ -12,6 +12,15 @@ bank and a budget schedule into the answer-and-learn protocol of Figure 2:
 3. at the end the algorithm hands back the selected worker ids and the
    environment evaluates their accuracy on the working tasks.
 
+Answer simulation is delegated to :mod:`repro.platform.answers`: the default
+``"vectorized"`` engine simulates the whole round with one batched accuracy
+matrix and one Bernoulli draw, while the ``"reference"`` engine keeps the
+per-worker loop as the executable specification — both consume the same
+per-(worker, round) counter-based streams, so their records are
+bit-identical.  Every stream is derived from the environment seed, the
+worker id and the round index, never from a shared sequential generator, so
+simulated answers are independent of iteration order and process count.
+
 The environment enforces the total budget ``B``: any assignment that would
 exceed it raises :class:`BudgetExceededError`, so a mis-configured selector
 cannot silently obtain more information than the paper's problem definition
@@ -25,12 +34,21 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.platform.answers import (
+    ANSWER_ENGINES,
+    behavior_accuracy_matrix,
+    simulate_round_answers,
+)
 from repro.platform.assignment import build_round_assignment
 from repro.platform.budget import BudgetSchedule
 from repro.platform.history import AnswerHistory, RoundRecord
 from repro.platform.tasks import TaskBank
-from repro.stats.rng import SeedLike, as_generator
+from repro.stats.rng import SeedLike, as_generator, counter_uniforms, stream_seeds, token_hashes
 from repro.workers.pool import WorkerPool
+
+#: Stream discriminators keeping learning-round and evaluation draws apart.
+_LEARNING_STREAM = 1
+_EVALUATION_STREAM = 2
 
 
 class BudgetExceededError(RuntimeError):
@@ -46,6 +64,17 @@ class SelectionOutcome:
     per_worker_accuracy: Dict[str, float]
     spent_budget: int
     n_rounds_used: int
+
+
+def _seed_root(rng: SeedLike) -> int:
+    """Integer root seed for the counter-based answer streams.
+
+    An integer seed is used as-is (the common, fully reproducible case); a
+    generator or ``None`` contributes one draw of entropy.
+    """
+    if isinstance(rng, (int, np.integer)):
+        return int(rng)
+    return int(as_generator(rng).integers(0, 2**63 - 1))
 
 
 class AnnotationEnvironment:
@@ -64,7 +93,12 @@ class AnnotationEnvironment:
         Ordered names of the prior domains (defines the column order of the
         historical-profile matrices).
     rng:
-        Seed or generator controlling the simulated answers.
+        Seed controlling the simulated answers.  An integer makes every
+        stream reproducible; the same seed yields byte-identical records
+        regardless of engine, worker iteration order or process count.
+    answer_engine:
+        ``"vectorized"`` (default) or ``"reference"`` — see
+        :mod:`repro.platform.answers`.
     """
 
     def __init__(
@@ -75,19 +109,25 @@ class AnnotationEnvironment:
         prior_domains: Sequence[str],
         rng: SeedLike = None,
         batch_size: Optional[int] = None,
+        answer_engine: str = "vectorized",
     ) -> None:
         if batch_size is not None and batch_size <= 0:
             raise ValueError("batch_size must be positive when given")
+        if answer_engine not in ANSWER_ENGINES:
+            raise ValueError(f"answer_engine must be one of {ANSWER_ENGINES}, got {answer_engine!r}")
         self._pool = pool
         self._task_bank = task_bank
         self._schedule = schedule
         self._prior_domains = list(prior_domains)
-        self._rng = as_generator(rng)
+        self._answer_root = _seed_root(rng)
+        self._answer_engine = answer_engine
         self._batch_size = batch_size
         self._history = AnswerHistory()
         self._spent_budget = 0
         self._next_task_index = 0
         self._pool.reset_training()
+        hashes = token_hashes(pool.worker_ids)
+        self._worker_hashes = {worker_id: hashes[i] for i, worker_id in enumerate(pool.worker_ids)}
 
     # ------------------------------------------------------------------ #
     # Observable state (what the paper's algorithms may use)
@@ -120,6 +160,11 @@ class AnnotationEnvironment:
     def remaining_budget(self) -> int:
         return self._schedule.total_budget - self._spent_budget
 
+    @property
+    def answer_engine(self) -> str:
+        """Which answer-simulation engine this environment runs."""
+        return self._answer_engine
+
     def historical_profiles(self) -> Tuple[np.ndarray, np.ndarray]:
         """``(H, N)`` matrices over the prior domains, in pool order."""
         return self._pool.profile_matrices(self._prior_domains)
@@ -127,6 +172,11 @@ class AnnotationEnvironment:
     # ------------------------------------------------------------------ #
     # Learning-task assignment (Definition 3)
     # ------------------------------------------------------------------ #
+    def _worker_stream_seeds(self, worker_ids: Sequence[str], stream: int, salt: int) -> np.ndarray:
+        """Per-worker 64-bit stream seeds for one (stream, salt) context."""
+        hashes = np.asarray([self._worker_hashes[worker_id] for worker_id in worker_ids], dtype=np.uint64)
+        return stream_seeds(self._answer_root, hashes, stream, salt)
+
     def run_learning_round(
         self,
         worker_ids: Sequence[str],
@@ -150,6 +200,9 @@ class AnnotationEnvironment:
         if tasks_per_worker < 0:
             raise ValueError("tasks_per_worker must be non-negative")
         worker_ids = list(worker_ids)
+        unknown = [w for w in worker_ids if w not in self._pool]
+        if unknown:
+            raise KeyError(f"assignment contains unknown workers: {unknown}")
         cost = tasks_per_worker * len(worker_ids)
         if self._spent_budget + cost > self._schedule.total_budget:
             raise BudgetExceededError(
@@ -157,6 +210,16 @@ class AnnotationEnvironment:
                 f"({self.remaining_budget} of {self._schedule.total_budget})"
             )
         resolved_round = round_index if round_index is not None else len(self._history) + 1
+        latest = self._history.latest
+        if latest is not None and resolved_round <= latest.round_index:
+            # Each round owns its per-(worker, round) answer streams, so a
+            # repeated index would silently replay the previous round's
+            # uniforms.  Reject it *before* simulating (the history append
+            # would raise anyway, but only after training had advanced).
+            raise ValueError(
+                f"round_index {resolved_round} is not past the last recorded round "
+                f"({latest.round_index}); rounds must be strictly increasing"
+            )
         assignment = build_round_assignment(
             task_bank=self._task_bank,
             worker_ids=worker_ids,
@@ -165,18 +228,15 @@ class AnnotationEnvironment:
             tasks_per_worker=tasks_per_worker,
         )
         batch_size = self._batch_size if self._batch_size is not None else max(tasks_per_worker, 1)
-        correctness: Dict[str, np.ndarray] = {}
-        for worker_id in worker_ids:
-            worker = self._pool[worker_id]
-            answered: List[np.ndarray] = []
-            remaining_tasks = tasks_per_worker
-            while remaining_tasks > 0:
-                batch = min(batch_size, remaining_tasks)
-                answered.append(worker.answer_tasks(batch, rng=self._rng))
-                worker.observe_feedback(batch)
-                remaining_tasks -= batch
-            answers = np.concatenate(answered) if answered else np.zeros(0, dtype=bool)
-            correctness[worker_id] = answers
+        behaviors = [self._pool[worker_id] for worker_id in worker_ids]
+        answers = simulate_round_answers(
+            behaviors,
+            self._worker_stream_seeds(worker_ids, _LEARNING_STREAM, resolved_round),
+            tasks_per_worker,
+            batch_size,
+            engine=self._answer_engine,
+        )
+        correctness = dict(zip(worker_ids, answers))
 
         record = RoundRecord(
             round_index=resolved_round,
@@ -218,7 +278,14 @@ class AnnotationEnvironment:
         empirical:
             When ``True``, draw Bernoulli answers over ``n_working_tasks``
             working tasks instead of reporting the latent accuracy (adds the
-            sampling noise a real evaluation would have).
+            sampling noise a real evaluation would have).  With zero working
+            tasks there is nothing to sample, so the outcome degrades to the
+            latent accuracies instead of propagating NaN.
+        rng:
+            Optional seed overriding the environment's answer root for the
+            empirical draw.  Every selected worker owns an independent
+            evaluation stream, so the outcome does not depend on selection
+            order or on which other workers were selected.
         """
         worker_ids = list(worker_ids)
         if not worker_ids:
@@ -226,16 +293,32 @@ class AnnotationEnvironment:
         unknown = [w for w in worker_ids if w not in self._pool]
         if unknown:
             raise KeyError(f"selection contains unknown workers: {unknown}")
-        generator = as_generator(rng if rng is not None else self._rng)
+        if n_working_tasks is not None and n_working_tasks < 0:
+            raise ValueError("n_working_tasks must be non-negative")
         n_tasks = n_working_tasks if n_working_tasks is not None else max(self._task_bank.n_working, 1)
 
-        per_worker: Dict[str, float] = {}
-        for worker_id in worker_ids:
-            latent = self.final_accuracy(worker_id)
-            if empirical:
-                per_worker[worker_id] = float(np.mean(generator.uniform(size=n_tasks) < latent))
+        behaviors = [self._pool[worker_id] for worker_id in worker_ids]
+        exposure = float(self._schedule.full_training_exposure)
+        full_exposures = np.full((len(behaviors), 1), exposure)
+        latents = behavior_accuracy_matrix(behaviors, full_exposures)[:, 0]
+
+        if empirical and n_tasks > 0:
+            root = self._answer_root if rng is None else _seed_root(rng)
+            hashes = np.asarray(
+                [self._worker_hashes[worker_id] for worker_id in worker_ids], dtype=np.uint64
+            )
+            seeds = stream_seeds(root, hashes, _EVALUATION_STREAM, 0)
+            if self._answer_engine == "reference":
+                values = [
+                    float(np.mean(counter_uniforms(seeds[i : i + 1], n_tasks)[0] < latents[i]))
+                    for i in range(len(behaviors))
+                ]
             else:
-                per_worker[worker_id] = latent
+                uniforms = counter_uniforms(seeds, n_tasks)
+                values = np.mean(uniforms < latents[:, None], axis=1).tolist()
+            per_worker = {worker_id: float(value) for worker_id, value in zip(worker_ids, values)}
+        else:
+            per_worker = {worker_id: float(value) for worker_id, value in zip(worker_ids, latents)}
         mean_accuracy = float(np.mean(list(per_worker.values())))
         return SelectionOutcome(
             selected_worker_ids=tuple(worker_ids),
@@ -261,6 +344,7 @@ class AnnotationEnvironment:
             "total_budget": self._schedule.total_budget,
             "n_rounds": self._schedule.n_rounds,
             "spent_budget": self._spent_budget,
+            "answer_engine": self._answer_engine,
             "learning_tasks_available": self._task_bank.n_learning,
             "learning_tasks_cycled": self._next_task_index > self._task_bank.n_learning,
         }

@@ -9,7 +9,7 @@ mixing the legacy global ``numpy.random`` state with new-style generators.
 from __future__ import annotations
 
 import zlib
-from typing import List, Optional, Union
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -76,6 +76,70 @@ def derive_seed(seed: SeedLike, *tokens: object) -> int:
     return int(mixed.generate_state(1)[0])
 
 
+# --------------------------------------------------------------------- #
+# Counter-based streams (the answer-simulation hot path)
+# --------------------------------------------------------------------- #
+# The answer engines need one independent uniform stream per (worker, round)
+# so simulated answers are deterministic, order-independent and identical at
+# any process count.  Creating a ``numpy`` Generator per worker costs ~30us
+# each (SeedSequence entropy pooling), which would dominate the vectorized
+# round simulation; instead the streams are counter-based: a splitmix64 mix
+# of ``(root seed, worker token, round)`` yields a 64-bit stream seed, and
+# the ``t``-th uniform of a stream is a pure function of ``(seed, t)``.
+# Everything is elementwise, so the scalar (reference) and matrix
+# (vectorized) engines produce bit-identical draws.
+
+_MASK64 = (1 << 64) - 1
+_GAMMA = 0x9E3779B97F4A7C15  # splitmix64 increment (odd, near 2^64/phi)
+
+
+def _mix64(z: np.ndarray) -> np.ndarray:
+    """The splitmix64 finalizer on ``uint64`` arrays (wraps silently)."""
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return z ^ (z >> np.uint64(31))
+
+
+def stream_seeds(base_seed: int, token_hashes: object, *salts: int) -> np.ndarray:
+    """Vectorized counterpart of :func:`derive_seed` for hot paths.
+
+    Derives one 64-bit stream seed per entry of ``token_hashes`` (e.g. one
+    per worker) from an integer base seed plus integer salts (e.g. the round
+    index).  Pure function of its inputs — no generator state — so streams
+    are independent of evaluation order, process count and pool composition.
+    """
+    state = np.asarray([base_seed & _MASK64], dtype=np.uint64)
+    for salt in salts:
+        state = _mix64(state + np.asarray([salt & _MASK64], dtype=np.uint64) + np.uint64(_GAMMA))
+    tokens = np.atleast_1d(np.asarray(token_hashes, dtype=np.uint64))
+    return _mix64(state + _mix64(tokens + np.uint64(_GAMMA)) + np.uint64(_GAMMA))
+
+
+def token_hashes(tokens: Sequence[object]) -> np.ndarray:
+    """Stable 32-bit hashes of arbitrary tokens as a ``uint64`` array."""
+    return np.asarray([_stable_token_hash(token) for token in tokens], dtype=np.uint64)
+
+
+def counter_uniforms(seeds: object, n_draws: int, offset: int = 0) -> np.ndarray:
+    """Uniform(0, 1) draws ``offset .. offset + n_draws - 1`` of each stream.
+
+    Returns a ``(len(seeds), n_draws)`` float64 matrix whose row ``i``
+    contains draws ``offset``-th through ``(offset + n_draws - 1)``-th of the
+    stream seeded by ``seeds[i]``.  Because each draw is a pure function of
+    ``(seed, index)``, requesting a stream in batches (the reference answer
+    engine) or as one block (the vectorized engine) yields identical values.
+    """
+    if n_draws < 0:
+        raise ValueError(f"n_draws must be non-negative, got {n_draws}")
+    if offset < 0:
+        raise ValueError(f"offset must be non-negative, got {offset}")
+    seed_column = np.atleast_1d(np.asarray(seeds, dtype=np.uint64))[:, None]
+    indices = np.arange(offset + 1, offset + n_draws + 1, dtype=np.uint64) * np.uint64(_GAMMA)
+    bits = _mix64(seed_column + indices[None, :])
+    # Top 53 bits -> uniform in [0, 1), the standard double construction.
+    return (bits >> np.uint64(11)).astype(np.float64) * (2.0**-53)
+
+
 def work_unit_seed(
     base_seed: SeedLike,
     stream: str,
@@ -120,4 +184,13 @@ def work_unit_seed(
     return derive_seed(base_seed, *tokens)
 
 
-__all__ = ["SeedLike", "as_generator", "spawn_generators", "derive_seed", "work_unit_seed"]
+__all__ = [
+    "SeedLike",
+    "as_generator",
+    "spawn_generators",
+    "derive_seed",
+    "work_unit_seed",
+    "stream_seeds",
+    "token_hashes",
+    "counter_uniforms",
+]

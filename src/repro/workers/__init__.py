@@ -7,28 +7,58 @@ observations:
 
 * :mod:`repro.workers.profile` — the ``(h_i, n_i)`` historical profile of
   Definition 2;
-* :mod:`repro.workers.behavior` — answer-generating behaviour models: static
-  workers (fixed latent accuracy) and learning workers whose accuracy grows
-  with training following the modified IRT curve the paper uses for its
-  synthetic datasets;
+* :mod:`repro.workers.behavior` — answer-generating behaviour models: the
+  paper's static and learning workers plus the contamination behaviours
+  (spammer, adversarial, fatigue, sleeper, drifter) that stress-test
+  selection against realistic crowd pools;
+* :mod:`repro.workers.registry` — ``@register_behavior`` / ``make_behavior``:
+  construct any behaviour by name (mirrors the selector registry);
 * :mod:`repro.workers.population` — samplers that draw whole worker
   populations from a truncated multivariate normal over per-domain
-  accuracies (Section V-A);
+  accuracies (Section V-A), optionally contaminated via a behaviour mix;
 * :mod:`repro.workers.pool` — the worker pool container used by the
   platform and the selection algorithms.
 """
 
-from repro.workers.behavior import LearningWorker, StaticWorker, WorkerBehavior
+from repro.workers.behavior import (
+    AdversarialWorker,
+    DrifterWorker,
+    FatigueWorker,
+    LearningWorker,
+    SleeperWorker,
+    SpammerWorker,
+    StaticWorker,
+    WorkerBehavior,
+)
 from repro.workers.pool import WorkerPool
 from repro.workers.population import PopulationConfig, sample_learning_population
 from repro.workers.profile import WorkerProfile
+from repro.workers.registry import (
+    behavior_exists,
+    behavior_names,
+    describe_behavior,
+    make_behavior,
+    register_behavior,
+    resolve_behavior_name,
+)
 
 __all__ = [
     "WorkerProfile",
     "WorkerBehavior",
     "StaticWorker",
     "LearningWorker",
+    "SpammerWorker",
+    "AdversarialWorker",
+    "FatigueWorker",
+    "SleeperWorker",
+    "DrifterWorker",
     "WorkerPool",
     "PopulationConfig",
     "sample_learning_population",
+    "register_behavior",
+    "make_behavior",
+    "behavior_names",
+    "behavior_exists",
+    "resolve_behavior_name",
+    "describe_behavior",
 ]

@@ -22,8 +22,8 @@ exposure to the target domain.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -31,8 +31,9 @@ from repro.irt.rasch import logit
 from repro.stats.mvn import MultivariateNormalModel
 from repro.stats.rng import SeedLike, as_generator
 from repro.stats.truncated import sample_truncated_mvn
-from repro.workers.behavior import LearningWorker
+from repro.workers.behavior import LearningWorker, WorkerBehavior
 from repro.workers.profile import WorkerProfile
+from repro.workers.registry import make_behavior, resolve_behavior_name
 
 _ACCURACY_EPS = 0.02  # keep sampled accuracies away from the {0, 1} boundary
 
@@ -107,6 +108,24 @@ class PopulationConfig:
     learning_rate_mean, learning_rate_std, learning_rate_correlation:
         Parameters of the explicit learning-rate distribution used by the
         ``"calibrated"`` mode (ignored otherwise).
+    behavior_mix:
+        Optional contamination recipe: mapping of registered behaviour name
+        to the fraction of the pool replaced by that behaviour (e.g.
+        ``{"spammer": 0.1, "drifter": 0.2}``).  Fractions must sum to at
+        most 1; the remainder of the pool keeps the paper's learning-worker
+        recipe.  Contaminated workers keep their sampled historical profiles
+        (their prior-domain record looks normal — that is what makes them
+        dangerous) but answer target-domain tasks with the named behaviour.
+        Names are resolved through :mod:`repro.workers.registry`, so custom
+        registered behaviours are reachable too.  The contamination draw
+        consumes randomness strictly *after* the base population draw, so a
+        contaminated pool shares its clean workers with the uncontaminated
+        pool of the same seed (contamination sweeps are paired).
+    behavior_params:
+        Optional per-behaviour keyword overrides merged over the built-in
+        parameter samplers (e.g. ``{"drifter": {"drift_exposure": 120.0}}``).
+        Custom behaviours without a built-in sampler receive exactly these
+        parameters (plus the profile).
     """
 
     prior_domains: Sequence[str]
@@ -129,6 +148,8 @@ class PopulationConfig:
     learning_rate_mean: float = 0.25
     learning_rate_std: float = 0.12
     learning_rate_correlation: float = 0.0
+    behavior_mix: Optional[Mapping[str, float]] = None
+    behavior_params: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         d = len(self.prior_domains)
@@ -159,6 +180,27 @@ class PopulationConfig:
             raise ValueError("learning_rate_std must be non-negative")
         if not -1.0 <= self.learning_rate_correlation <= 1.0:
             raise ValueError("learning_rate_correlation must lie in [-1, 1]")
+        if self.behavior_mix is not None:
+            # Canonicalise names (validates them against the registry) and
+            # fix a sorted order so the config's repr — and therefore the
+            # experiment store's spec digest — is stable.
+            resolved: Dict[str, float] = {}
+            for name in sorted(self.behavior_mix):
+                fraction = float(self.behavior_mix[name])
+                if not 0.0 <= fraction <= 1.0:
+                    raise ValueError(f"behavior fraction for {name!r} must lie in [0, 1], got {fraction}")
+                canonical = resolve_behavior_name(name)
+                resolved[canonical] = resolved.get(canonical, 0.0) + fraction
+            if sum(resolved.values()) > 1.0 + 1e-9:
+                raise ValueError(f"behavior_mix fractions sum to {sum(resolved.values()):.3f} > 1")
+            self.behavior_mix = {name: resolved[name] for name in sorted(resolved)}
+        # Canonicalise behavior_params keys through the registry too, so an
+        # alias key ("drift") reaches the behaviour its mix entry resolves
+        # to instead of being silently ignored.
+        canonical_params: Dict[str, Dict[str, object]] = {}
+        for name, params in sorted(dict(self.behavior_params).items()):
+            canonical_params.setdefault(resolve_behavior_name(name), {}).update(params)
+        self.behavior_params = canonical_params
 
     # ------------------------------------------------------------------ #
     @property
@@ -238,18 +280,105 @@ def _calibrated_learning_rates(
     return np.clip(base, 0.0, None)
 
 
+def _contamination_counts(mix: Mapping[str, float], n_workers: int) -> Dict[str, int]:
+    """Largest-remainder apportionment of contaminated workers per behaviour.
+
+    Deterministic (ties broken by name) so a pool's composition is a pure
+    function of the configuration — no randomness is consumed here.
+    """
+    exact = {name: fraction * n_workers for name, fraction in mix.items()}
+    counts = {name: int(np.floor(value)) for name, value in exact.items()}
+    leftover = int(round(sum(exact.values()))) - sum(counts.values())
+    by_remainder = sorted(exact, key=lambda name: (-(exact[name] - counts[name]), name))
+    for name in by_remainder[:max(leftover, 0)]:
+        counts[name] += 1
+    return {name: count for name, count in counts.items() if count > 0}
+
+
+def _builtin_mix_params(
+    name: str,
+    quality: float,
+    config: PopulationConfig,
+    generator: np.random.Generator,
+) -> Dict[str, object]:
+    """Construction parameters for one contaminated worker of a built-in kind.
+
+    ``quality`` is the worker's sampled target-domain quality ``h_T`` — the
+    accuracy the worker *would* have reached as a learner — so contaminated
+    pools stay anchored to the same population moments.  Each behaviour
+    consumes a fixed number of generator draws regardless of ``quality`` so
+    the stream stays aligned across workers.
+    """
+    reference = float(config.reference_exposure) if config.reference_exposure else 20.0
+    if name == "spammer":
+        return {}
+    if name == "adversarial":
+        return {"accuracy": float(np.clip(1.0 - quality, 0.05, 0.45))}
+    if name == "fatigue":
+        return {
+            "initial_accuracy": float(np.clip(quality, 0.55, 0.95)),
+            "fatigue_rate": float(generator.uniform(0.15, 0.45)),
+        }
+    if name == "sleeper":
+        return {
+            "awake_accuracy": float(np.clip(quality, 0.55, 0.98)),
+            "period": float(generator.uniform(0.8, 2.5) * reference),
+            "sleep_fraction": float(generator.uniform(0.2, 0.5)),
+            "phase": float(generator.uniform(0.0, 1.0)),
+        }
+    if name == "drifter":
+        drop = float(generator.uniform(0.2, 0.4))
+        start = float(np.clip(quality, 0.55, 0.95))
+        return {
+            "initial_accuracy": start,
+            "drifted_accuracy": float(np.clip(start - drop, 0.05, 1.0)),
+            "drift_exposure": float(generator.uniform(1.0, 3.0) * reference),
+        }
+    return {}
+
+
+def _contaminate(
+    workers: List[WorkerBehavior],
+    sampled_target: np.ndarray,
+    config: PopulationConfig,
+    generator: np.random.Generator,
+) -> List[WorkerBehavior]:
+    """Replace a deterministic subset of the pool with mixed-in behaviours."""
+    counts = _contamination_counts(config.behavior_mix or {}, len(workers))
+    total = sum(counts.values())
+    if total == 0:
+        return workers
+    # One permutation draw selects every contaminated slot; slices are
+    # assigned behaviour by behaviour in sorted-name order.
+    chosen = generator.permutation(len(workers))[:total]
+    cursor = 0
+    for name in sorted(counts):
+        for index in sorted(int(i) for i in chosen[cursor:cursor + counts[name]]):
+            params = _builtin_mix_params(name, float(sampled_target[index]), config, generator)
+            params.update(config.behavior_params.get(name, {}))
+            workers[index] = make_behavior(name, profile=workers[index].profile, **params)
+        cursor += counts[name]
+    return workers
+
+
 def sample_learning_population(
     config: PopulationConfig,
     n_workers: int,
     rng: SeedLike = None,
     id_prefix: str = "worker",
-) -> List[LearningWorker]:
-    """Sample a pool of learning workers according to ``config``.
+) -> List[WorkerBehavior]:
+    """Sample a worker pool according to ``config``.
+
+    Without a ``behavior_mix`` every worker is a
+    :class:`~repro.workers.behavior.LearningWorker` (the paper's recipe);
+    with one, the configured fractions of the pool are replaced by the named
+    contamination behaviours, keeping their sampled historical profiles.
 
     Parameters
     ----------
     config:
-        The population recipe (domain moments, correlations, learning mode).
+        The population recipe (domain moments, correlations, learning mode,
+        optional behaviour mix).
     n_workers:
         Pool size ``|W|``.
     rng:
@@ -273,7 +402,7 @@ def sample_learning_population(
         initial_accuracies = sampled_target
         learning_rates = _calibrated_learning_rates(config, sampled_target, generator)
 
-    workers: List[LearningWorker] = []
+    workers: List[WorkerBehavior] = []
     for index in range(n_workers):
         accuracies = {
             domain: float(prior_matrix[index, d]) for d, domain in enumerate(config.prior_domains)
@@ -291,6 +420,11 @@ def sample_learning_population(
                 learning_rate=float(learning_rates[index]),
             )
         )
+    if config.behavior_mix:
+        # Contamination consumes randomness strictly after the base draw so
+        # the clean workers of a contaminated pool are identical to the
+        # uncontaminated pool of the same seed (paired sweeps).
+        workers = _contaminate(workers, sampled_target, config, generator)
     return workers
 
 

@@ -118,3 +118,86 @@ class TestServeCommand:
         ) == 0
         out = capsys.readouterr().out
         assert "serving budget: 45/45 (exhausted)" in out
+
+
+class TestScenarioCommands:
+    def test_scenario_recipe_validated_at_parse_time(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["run", "--scenario", "bogus10"])
+        assert excinfo.value.code == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_scenario_qualified_dataset_validated_at_parse_time(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--dataset", "S-1:bogus10"])
+        assert "bogus" in capsys.readouterr().err
+
+    def test_scenario_qualified_dataset_accepted(self):
+        args = build_parser().parse_args(["run", "--dataset", "s-1:SPAM10"])
+        assert args.dataset == "S-1:spam10"
+
+    def test_run_with_scenario_reports_contaminated_dataset(self, capsys):
+        assert main(
+            ["run", "--dataset", "S-1", "--scenario", "spam10", "--selector", "us", "--k", "10", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["dataset"] == "S-1:spammer10"
+
+    def test_run_rejects_double_scenario(self, capsys):
+        assert main(["run", "--dataset", "S-1:spam10", "--scenario", "drift10"]) == 2
+        assert "already carries a scenario" in capsys.readouterr().err
+
+    def test_run_answer_engine_flag(self, capsys):
+        assert main(
+            ["run", "--dataset", "S-1", "--selector", "us", "--k", "10",
+             "--answer-engine", "reference", "--json"]
+        ) == 0
+        reference = json.loads(capsys.readouterr().out)
+        assert main(
+            ["run", "--dataset", "S-1", "--selector", "us", "--k", "10", "--json"]
+        ) == 0
+        vectorized = json.loads(capsys.readouterr().out)
+        assert reference["selected_worker_ids"] == vectorized["selected_worker_ids"]
+
+    def test_behaviors_listing(self, capsys):
+        assert main(["behaviors"]) == 0
+        out = capsys.readouterr().out
+        for name in ("spammer", "adversarial", "fatigue", "sleeper", "drifter"):
+            assert name in out
+
+    def test_behaviors_json(self, capsys):
+        assert main(["behaviors", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "spammer" in payload
+
+    def test_scenarios_listing_mentions_grammar(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "mixed30" in out
+        assert "<behavior><percent>" in out
+
+    def test_scenarios_json(self, capsys):
+        assert main(["scenarios", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mixed30"] == {"spammer": 0.1, "adversarial": 0.1, "drifter": 0.1}
+
+    def test_robustness_command_prints_table(self, capsys):
+        assert main(
+            ["robustness", "--datasets", "S-1", "--behavior", "spammer",
+             "--rates", "0", "0.1", "--methods", "us", "--repetitions", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "rate" in out
+        assert "precision_at_k" in out
+
+    def test_robustness_resume_requires_store(self, capsys):
+        assert main(["robustness", "--resume"]) == 2
+        assert "--resume requires --store" in capsys.readouterr().err
+
+    def test_serve_with_drift_scenario(self, capsys):
+        assert main(
+            ["serve", "--dataset", "S-1", "--scenario", "drift20", "--selector", "us",
+             "--k", "5", "--tasks", "30", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_tasks_routed"] == 30

@@ -86,9 +86,24 @@ class TestPipelineRun:
         assert "estimated_correlations" not in result.diagnostics
         assert "fitted_alphas" not in result.diagnostics
 
-    def test_me_variant_ranks_by_observed_accuracy(self, static_environment):
-        # On static workers with a generous budget, plain ME must find the best two.
-        result = fast_selector(use_cpe=False, use_lge=False, rng=5).select(static_environment)
+    def test_me_variant_ranks_by_observed_accuracy(self, static_pool):
+        # On static workers with a genuinely generous budget (80 tasks per
+        # worker in round one), plain ME must find the best two.
+        from repro.platform.budget import compute_budget
+        from repro.platform.session import AnnotationEnvironment
+        from repro.platform.tasks import generate_task_bank
+
+        schedule = compute_budget(pool_size=len(static_pool), k=2, total_budget=800)
+        task_bank = generate_task_bank("target", n_learning=700, n_working=30, rng=7)
+        environment = AnnotationEnvironment(
+            pool=static_pool,
+            task_bank=task_bank,
+            schedule=schedule,
+            prior_domains=["a", "b"],
+            rng=13,
+            batch_size=5,
+        )
+        result = fast_selector(use_cpe=False, use_lge=False, rng=5).select(environment)
         assert set(result.selected_worker_ids) == {"static-0", "static-1"}
 
     def test_deterministic_given_seeds(self, tiny_instance):

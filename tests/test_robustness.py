@@ -1,0 +1,227 @@
+"""Tests for scenario presets (datasets layer) and the robustness sweep."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.datasets.registry import (
+    SCENARIO_RECIPES,
+    dataset_exists,
+    format_scenario,
+    get_spec,
+    load_dataset,
+    parse_scenario,
+    scenario_names,
+    scenario_spec,
+)
+from repro.experiments.robustness import (
+    DEFAULT_CONTAMINATION_RATES,
+    robustness_degradation,
+    run_robustness,
+    scenario_name,
+)
+from repro.experiments.store import ResultStore
+from repro.workers.behavior import LearningWorker, SpammerWorker
+
+
+class TestScenarioGrammar:
+    def test_single_token(self):
+        assert parse_scenario("spam10") == {"spammer": 0.1}
+        assert parse_scenario("adversarial20") == {"adversarial": 0.2}
+
+    def test_compound_tokens(self):
+        assert parse_scenario("spam10+drift20") == {"spammer": 0.1, "drifter": 0.2}
+
+    def test_named_recipes(self):
+        assert parse_scenario("mixed30") == {"spammer": 0.1, "adversarial": 0.1, "drifter": 0.1}
+        assert parse_scenario("clean") == {}
+
+    def test_case_insensitive(self):
+        assert parse_scenario("SPAM10") == {"spammer": 0.1}
+
+    def test_repeated_behavior_accumulates(self):
+        assert parse_scenario("spam10+spam15") == {"spammer": 0.25}
+
+    def test_invalid_tokens_rejected(self):
+        for recipe in ("", "spam", "10spam", "spam0", "spam100", "nope10", "spam10-drift5"):
+            with pytest.raises(ValueError):
+                parse_scenario(recipe)
+
+    def test_over_contamination_rejected(self):
+        with pytest.raises(ValueError):
+            parse_scenario("spam50+adversarial50")
+
+    def test_format_round_trips(self):
+        mix = parse_scenario("drift20+spam10")
+        assert parse_scenario(format_scenario(mix)) == mix
+
+
+class TestScenarioSpecs:
+    def test_get_spec_resolves_scenarios(self):
+        spec = get_spec("S-1:spam10")
+        assert spec.name == "S-1:spammer10"
+        assert spec.seed_name == "S-1"
+        assert spec.population.behavior_mix == {"spammer": 0.1}
+
+    def test_aliases_and_base_spelling_equivalent(self):
+        assert get_spec("s-1:spam10").name == get_spec("S-1:spammer10").name
+
+    def test_unknown_base_rejected(self):
+        with pytest.raises(KeyError):
+            get_spec("S-9:spam10")
+
+    def test_invalid_recipe_rejected(self):
+        with pytest.raises(ValueError):
+            get_spec("S-1:bogus10")
+
+    def test_dataset_exists(self):
+        assert dataset_exists("S-1")
+        assert dataset_exists("S-1:spam10")
+        assert not dataset_exists("S-9")
+        assert not dataset_exists("S-1:bogus10")
+
+    def test_scenario_names_listing(self):
+        names = scenario_names(["S-1"])
+        assert "S-1:mixed30" in names
+        assert all(":" in name for name in names)
+        assert not any(name.endswith(":clean") for name in names)
+
+    def test_clean_recipe_returns_base_spec(self):
+        assert scenario_spec(get_spec("S-1"), "clean").name == "S-1"
+
+    def test_scenario_instance_contains_mixed_behaviors(self):
+        instance = load_dataset("S-1:spam20", seed=0)
+        spammers = [w for w in instance.pool if isinstance(w, SpammerWorker)]
+        assert len(spammers) == 8  # 20% of 40
+
+    def test_scenario_pool_paired_with_base(self):
+        base = load_dataset("S-1", seed=3)
+        contaminated = load_dataset("S-1:spam20", seed=3)
+        assert base.pool.worker_ids == contaminated.pool.worker_ids
+        for worker_id in base.pool.worker_ids:
+            mixed = contaminated.pool[worker_id]
+            if isinstance(mixed, LearningWorker):
+                assert mixed.initial_accuracy == base.pool[worker_id].initial_accuracy
+        # Task banks are identical too (same seed_name derivation).
+        assert [t.task_id for t in base.task_bank.learning_tasks] == [
+            t.task_id for t in contaminated.task_bank.learning_tasks
+        ]
+
+    def test_contamination_lowers_ground_truth_quality_floor(self):
+        base = load_dataset("S-1", seed=0)
+        hostile = load_dataset("S-1:hostile40", seed=0)
+        assert hostile.ground_truth_mean_accuracy() <= base.ground_truth_mean_accuracy() + 1e-9
+
+    def test_recipes_catalog_is_parseable(self):
+        for recipe in SCENARIO_RECIPES:
+            parse_scenario(recipe)  # must not raise
+
+
+class TestRobustnessSweep:
+    CONFIG = ExperimentConfig(n_repetitions=1, base_seed=5, cpe_epochs=2)
+
+    def test_scenario_name_formatting(self):
+        assert scenario_name("S-1", "spammer", 0.0) == "S-1"
+        assert scenario_name("S-1", "spammer", 0.2) == "S-1:spammer20"
+
+    def test_sweep_rows_cover_grid(self):
+        rows = run_robustness(
+            ["S-1"], behavior="spammer", contamination_rates=(0.0, 0.2),
+            config=self.CONFIG, methods=["us", "me"],
+        )
+        assert len(rows) == 4  # 2 rates x 2 methods
+        assert {row["rate"] for row in rows} == {0.0, 0.2}
+        assert {row["method"] for row in rows} == {"us", "me"}
+        for row in rows:
+            assert 0.0 <= row["accuracy"] <= 1.0
+            assert 0.0 <= row["precision_at_k"] <= 1.0
+            assert row["dataset"] == "S-1"
+        clean_rows = [row for row in rows if row["rate"] == 0.0]
+        assert all(row["behavior"] == "clean" for row in clean_rows)
+
+    def test_default_rates(self):
+        assert DEFAULT_CONTAMINATION_RATES == (0.0, 0.1, 0.2, 0.4)
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            run_robustness(["S-1"], contamination_rates=(0.0, 0.95), config=self.CONFIG)
+        with pytest.raises(ValueError):
+            run_robustness(["S-1"], contamination_rates=(0.123,), config=self.CONFIG)
+
+    def test_unknown_behavior_rejected_before_running(self):
+        with pytest.raises(ValueError):
+            run_robustness(["S-1"], behavior="bogus", contamination_rates=(0.0, 0.1), config=self.CONFIG)
+
+    def test_store_persists_scenario_records_and_resume(self, tmp_path):
+        store_path = tmp_path / "robustness.jsonl"
+        rows = run_robustness(
+            ["S-1"], behavior="spammer", contamination_rates=(0.0, 0.1),
+            config=self.CONFIG, methods=["us"], store_path=str(store_path),
+        )
+        records = ResultStore(store_path).load_records()
+        assert {record["dataset"] for record in records} == {"S-1", "S-1:spammer10"}
+        resumed = run_robustness(
+            ["S-1"], behavior="spammer", contamination_rates=(0.0, 0.1),
+            config=self.CONFIG, methods=["us"], store_path=str(store_path), resume=True,
+        )
+        assert resumed == rows
+
+    def test_degradation_helper(self):
+        rows = [
+            {"dataset": "S-1", "method": "us", "rate": 0.0, "accuracy": 0.8},
+            {"dataset": "S-1", "method": "us", "rate": 0.2, "accuracy": 0.7},
+        ]
+        drops = robustness_degradation(rows, "S-1", "us")
+        assert drops["drop_at_0.2"] == pytest.approx(0.1)
+        with pytest.raises(ValueError):
+            robustness_degradation(rows[1:], "S-1", "us")
+
+    def test_sweep_results_deterministic_across_job_counts(self):
+        from dataclasses import replace
+
+        serial = run_robustness(
+            ["S-1"], behavior="spammer", contamination_rates=(0.0, 0.2),
+            config=self.CONFIG, methods=["us", "me"],
+        )
+        parallel = run_robustness(
+            ["S-1"], behavior="spammer", contamination_rates=(0.0, 0.2),
+            config=replace(self.CONFIG, n_jobs=2), methods=["us", "me"],
+        )
+        for left, right in zip(serial, parallel):
+            assert left == right
+
+    def test_sweep_cells_paired_across_rates(self):
+        # The clean workers of every contamination rate must come from the
+        # same base pool draw: unit seeds derive from the spec's seed_name.
+        from repro.datasets.registry import get_spec
+        from repro.experiments.runner import WorkUnit, execute_work_unit
+        from repro.workers.behavior import LearningWorker
+
+        records = {}
+        for name in ("S-1", "S-1:spammer20"):
+            spec = get_spec(name)
+            unit = WorkUnit(dataset=name, method="us", repetition=0, k=5, q=20)
+            seeds = unit.seeds(self.CONFIG.base_seed, seed_dataset=spec.seed_name)
+            records[name] = (seeds, spec.instantiate(seed=seeds["instance_seed"], k=5))
+        clean_seeds, clean_instance = records["S-1"]
+        mixed_seeds, mixed_instance = records["S-1:spammer20"]
+        assert clean_seeds == mixed_seeds
+        assert clean_instance.pool.worker_ids == mixed_instance.pool.worker_ids
+        for worker_id in clean_instance.pool.worker_ids:
+            mixed = mixed_instance.pool[worker_id]
+            if isinstance(mixed, LearningWorker):
+                assert mixed.initial_accuracy == clean_instance.pool[worker_id].initial_accuracy
+
+    def test_selection_degrades_under_heavy_contamination(self):
+        # Sanity: the ground-truth attainable accuracy cannot improve when
+        # 40% of the pool answers at or below chance.
+        rows = run_robustness(
+            ["S-1"], behavior="adversarial", contamination_rates=(0.0, 0.4),
+            config=self.CONFIG, methods=["us"],
+        )
+        clean = next(r for r in rows if r["rate"] == 0.0)
+        hostile = next(r for r in rows if r["rate"] == 0.4)
+        assert np.isfinite(hostile["accuracy"])
+        assert hostile["ground_truth"] <= clean["ground_truth"] + 1e-9
