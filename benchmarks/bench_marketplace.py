@@ -1,0 +1,193 @@
+"""Marketplace benchmark: orchestrator tick throughput and journal latency.
+
+Times the two marketplace hot paths in isolation:
+
+* **orchestration** — full ticks of the multi-campaign event loop
+  (churn draws, task submission, answer delivery, aggregation) across
+  campaign counts, reported as ticks/second, with and without the
+  journal on disk;
+* **journal** — durable ``append_ticks`` latency across tick-batch
+  sizes, showing how batching amortises the per-append fsync without
+  changing the journal bytes.
+
+Run it as a script (the pytest suite does not collect it):
+
+    PYTHONPATH=src python benchmarks/bench_marketplace.py
+    PYTHONPATH=src python benchmarks/bench_marketplace.py \
+        --campaigns 1 2 4 --ticks 100 --output /tmp/bench.json
+
+The machine-readable output seeds the repo's perf trajectory
+(``BENCH_marketplace.json``); the schema is stamped into the payload as
+``schema_version``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.marketplace import (
+    CampaignSpec,
+    ChurnConfig,
+    EventJournal,
+    MarketplaceConfig,
+    MarketplaceOrchestrator,
+)
+
+SCHEMA_VERSION = 1
+
+DEFAULT_CAMPAIGN_COUNTS = (1, 2, 4)
+BENCH_DATASETS = ("S-1", "S-2")
+
+
+def build_orchestrator(
+    n_campaigns: int, n_ticks: int, journal_path: Optional[Path], seed: int
+) -> MarketplaceOrchestrator:
+    """A benchmark marketplace: every campaign keeps serving for the whole run."""
+    tasks_per_tick = 2
+    specs = [
+        CampaignSpec(
+            name=f"c{index}",
+            dataset=BENCH_DATASETS[index % len(BENCH_DATASETS)],
+            selector="us",
+            k=5,
+            seed=seed + index,
+        )
+        for index in range(n_campaigns)
+    ]
+    return MarketplaceOrchestrator(
+        specs,
+        config=MarketplaceConfig(total_tasks=n_ticks * tasks_per_tick, tasks_per_tick=tasks_per_tick),
+        churn=ChurnConfig(arrival_rate=0.5, departure_rate=0.02),
+        journal_path=journal_path,
+        seed=seed,
+    )
+
+
+def time_orchestrator(
+    n_campaigns: int, n_ticks: int, repeats: int, journaled: bool
+) -> Dict[str, float]:
+    """Best-of-``repeats`` tick throughput for one campaign count."""
+    times: List[float] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for repeat in range(repeats):
+            journal_path = Path(tmp) / f"bench{repeat}.jsonl" if journaled else None
+            orchestrator = build_orchestrator(n_campaigns, n_ticks, journal_path, seed=repeat)
+            start = time.perf_counter()
+            orchestrator.run(n_ticks, tick_batch=8)
+            times.append(time.perf_counter() - start)
+    best = min(times)
+    return {
+        "run_s": best,
+        "ticks_per_second": n_ticks / best if best > 0 else float("inf"),
+    }
+
+
+def synthetic_tick_record(tick: int) -> Dict[str, object]:
+    """A tick record shaped like the orchestrator's (for journal timing)."""
+    return {
+        "type": "tick",
+        "tick": tick,
+        "departures": [],
+        "invalidations": [],
+        "arrivals": [{"worker_id": f"mkt-{tick:03d}", "observed": 0.75, "tier": "qualified", "admitted": True}],
+        "campaigns": [
+            {"campaign": f"c{index}", "phase": "serving", "submitted": 2, "delivered": 2}
+            for index in range(4)
+        ],
+    }
+
+
+def time_journal(n_records: int, tick_batch: int, repeats: int) -> Dict[str, float]:
+    """Durable append throughput of the journal at one tick-batch size."""
+    records = [synthetic_tick_record(tick) for tick in range(n_records)]
+    times: List[float] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for repeat in range(repeats):
+            journal = EventJournal(Path(tmp) / f"journal{repeat}.jsonl")
+            journal.begin({"bench": True})
+            start = time.perf_counter()
+            for offset in range(0, n_records, tick_batch):
+                journal.append_ticks(records[offset : offset + tick_batch])
+            times.append(time.perf_counter() - start)
+    best = min(times)
+    return {
+        "append_s": best,
+        "records_per_second": n_records / best if best > 0 else float("inf"),
+        "fsyncs": -(-n_records // tick_batch),
+    }
+
+
+def run_benchmark(
+    campaign_counts: Sequence[int], n_ticks: int, repeats: int, n_records: int
+) -> Dict[str, object]:
+    """The full benchmark payload."""
+    orchestration: List[Dict[str, object]] = []
+    for journaled in (False, True):
+        for n_campaigns in campaign_counts:
+            result = time_orchestrator(n_campaigns, n_ticks, repeats, journaled)
+            orchestration.append({"campaigns": n_campaigns, "journaled": journaled, **result})
+            print(
+                f"  campaigns={n_campaigns} journal={'on ' if journaled else 'off'} "
+                f"{result['ticks_per_second']:>10,.0f} ticks/s",
+                file=sys.stderr,
+            )
+    journal: List[Dict[str, object]] = []
+    for tick_batch in (1, 8, 64):
+        result = time_journal(n_records, tick_batch, repeats)
+        journal.append({"tick_batch": tick_batch, **result})
+        print(
+            f"  journal batch={tick_batch:<3} {result['records_per_second']:>10,.0f} records/s "
+            f"({result['fsyncs']} fsyncs)",
+            file=sys.stderr,
+        )
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "config": {
+            "campaign_counts": list(campaign_counts),
+            "n_ticks": n_ticks,
+            "repeats": repeats,
+            "n_journal_records": n_records,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "numpy": np.__version__,
+        },
+        "orchestration": orchestration,
+        "journal": journal,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--campaigns", type=int, nargs="+", default=list(DEFAULT_CAMPAIGN_COUNTS))
+    parser.add_argument("--ticks", type=int, default=150, help="ticks per orchestration cell")
+    parser.add_argument("--repeats", type=int, default=3, help="timing repeats (best is kept)")
+    parser.add_argument("--records", type=int, default=512, help="records appended per journal cell")
+    parser.add_argument("--output", default="BENCH_marketplace.json", help="JSON output path")
+    args = parser.parse_args(argv)
+
+    payload = run_benchmark(
+        campaign_counts=args.campaigns,
+        n_ticks=args.ticks,
+        repeats=args.repeats,
+        n_records=args.records,
+    )
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

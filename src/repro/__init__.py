@@ -39,6 +39,11 @@ online aggregation and drift detection over the selected pool:
 Routing policies are registry-addressable too (``repro.router_names()``)
 and extend with the ``@register_router`` decorator.
 
+Above single-campaign serving sits the marketplace layer
+(:mod:`repro.marketplace`): a :class:`~repro.marketplace.MarketplaceOrchestrator`
+runs several campaigns concurrently against one shared, churning worker
+marketplace under a deterministic, crash-recoverable journaled tick loop.
+
 Worker *behaviours* have their own registry (``repro.behavior_names()``,
 ``@register_behavior``): beyond the paper's learning workers, pools can be
 contaminated with spammers, adversarial, fatigued, sleeper and drifting
@@ -96,6 +101,17 @@ from repro.datasets import (
     scenario_spec,
 )
 from repro.evaluation import compare_selectors, evaluate_selector, ground_truth_accuracy
+from repro.marketplace import (
+    CampaignHandle,
+    CampaignPhase,
+    CampaignSpec,
+    ChurnConfig,
+    EventJournal,
+    Marketplace,
+    MarketplaceConfig,
+    MarketplaceOrchestrator,
+    MarketplaceReport,
+)
 from repro.platform import AnnotationEnvironment, BudgetSchedule, compute_budget
 from repro.serving import (
     AnnotationService,
@@ -129,7 +145,7 @@ from repro.workers import (
     register_behavior,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "__version__",
@@ -201,6 +217,16 @@ __all__ = [
     "register_router",
     "router_exists",
     "router_names",
+    # Marketplace orchestration
+    "CampaignHandle",
+    "CampaignPhase",
+    "CampaignSpec",
+    "ChurnConfig",
+    "EventJournal",
+    "Marketplace",
+    "MarketplaceConfig",
+    "MarketplaceOrchestrator",
+    "MarketplaceReport",
     # Evaluation / configuration
     "compare_selectors",
     "evaluate_selector",

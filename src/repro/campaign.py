@@ -55,8 +55,45 @@ from repro.serving.service import (
     working_task_stream,
 )
 from repro.stats.rng import as_generator, derive_seed
+from repro.workers.profile import WorkerProfile
 
 _STATE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SelectionManifest:
+    """Everything the serving/marketplace layer needs from a finished selection.
+
+    Produced by :meth:`Campaign.selection_manifest`; consumed by
+    :meth:`Campaign.serving_service` and by the marketplace orchestrator,
+    which registers the selected workers into its shared registry instead
+    of building a pool directly.
+
+    Attributes
+    ----------
+    target_domain:
+        The campaign's target domain.
+    worker_ids:
+        The selected workers, in selection order.
+    target_estimates:
+        The selector's final accuracy estimate per selected worker (falls
+        back to the observed training accuracy, or 0.5 for a worker the
+        selector never tested).
+    training_questions:
+        Golden learning tasks each selected worker answered during selection.
+    final_accuracies:
+        Each selected worker's fully trained latent accuracy on the target
+        domain (drives the simulated answer oracles).
+    profiles:
+        Historical cross-domain profiles of the selected workers.
+    """
+
+    target_domain: str
+    worker_ids: List[str]
+    target_estimates: Dict[str, float]
+    training_questions: Dict[str, int]
+    final_accuracies: Dict[str, float]
+    profiles: Dict[str, WorkerProfile]
 
 
 @dataclass(frozen=True)
@@ -283,6 +320,11 @@ class Campaign:
         return self._seed
 
     @property
+    def instance(self):
+        """The loaded dataset instance this campaign runs against."""
+        return self._instance
+
+    @property
     def n_rounds(self) -> int:
         """Elimination rounds the schedule prescribes."""
         return self._instance.schedule.n_rounds
@@ -451,6 +493,33 @@ class Campaign:
         if config is not None and overrides:
             raise ValueError("pass either a full ServingConfig or keyword overrides, not both")
         resolved = config if config is not None else replace(ServingConfig(), **overrides)  # type: ignore[arg-type]
+        manifest = self.selection_manifest()
+        pool = ServingPool.from_selection(
+            worker_ids=manifest.worker_ids,
+            target_domain=manifest.target_domain,
+            target_estimates=manifest.target_estimates,
+            training_questions=manifest.training_questions,
+            profiles=manifest.profiles,
+            policy=qualification,
+            max_concurrent=resolved.max_concurrent,
+        )
+        if answer_oracle is None:
+            generator = as_generator(
+                derive_seed(self._seed, "campaign", "serving", resolved.seed)
+            )
+            final_accuracies = manifest.final_accuracies
+
+            def answer_oracle(worker_id, task):  # noqa: F811 - deliberate default binding
+                correct = bool(generator.uniform() < final_accuracies[worker_id])
+                return task.gold_label if correct else not task.gold_label
+
+        return AnnotationService(pool, resolved, answer_oracle=answer_oracle)
+
+    def selection_manifest(self) -> SelectionManifest:
+        """Summarise the finished selection for the serving/marketplace layer.
+
+        Runs the campaign to completion if needed.
+        """
         result = self.result()
         environment = self._environment
         assert environment is not None
@@ -467,36 +536,25 @@ class Campaign:
             # unqualified, and not to fully qualified either.
             return correct / total if total else 0.5
 
-        target_estimates = {
-            worker_id: float(result.estimated_accuracies.get(worker_id, observed_accuracy(worker_id)))
-            for worker_id in result.selected_worker_ids
-        }
-        pool = ServingPool.from_selection(
-            worker_ids=result.selected_worker_ids,
+        selected = list(result.selected_worker_ids)
+        profiles = {w.worker_id: w.profile for w in self._instance.pool}
+        return SelectionManifest(
             target_domain=self._instance.target_domain,
-            target_estimates=target_estimates,
-            training_questions={
-                worker_id: history.cumulative_exposure(worker_id)
-                for worker_id in result.selected_worker_ids
+            worker_ids=selected,
+            target_estimates={
+                worker_id: float(
+                    result.estimated_accuracies.get(worker_id, observed_accuracy(worker_id))
+                )
+                for worker_id in selected
             },
-            profiles={w.worker_id: w.profile for w in self._instance.pool},
-            policy=qualification,
-            max_concurrent=resolved.max_concurrent,
+            training_questions={
+                worker_id: history.cumulative_exposure(worker_id) for worker_id in selected
+            },
+            final_accuracies={
+                worker_id: environment.final_accuracy(worker_id) for worker_id in selected
+            },
+            profiles={worker_id: profiles[worker_id] for worker_id in selected if worker_id in profiles},
         )
-        if answer_oracle is None:
-            generator = as_generator(
-                derive_seed(self._seed, "campaign", "serving", resolved.seed)
-            )
-            final_accuracies = {
-                worker_id: environment.final_accuracy(worker_id)
-                for worker_id in result.selected_worker_ids
-            }
-
-            def answer_oracle(worker_id, task):  # noqa: F811 - deliberate default binding
-                correct = bool(generator.uniform() < final_accuracies[worker_id])
-                return task.gold_label if correct else not task.gold_label
-
-        return AnnotationService(pool, resolved, answer_oracle=answer_oracle)
 
     def serve(
         self,
@@ -572,4 +630,11 @@ class Campaign:
         return campaign
 
 
-__all__ = ["Campaign", "CampaignEvent", "CampaignReport", "ServingConfig", "ServingReport"]
+__all__ = [
+    "Campaign",
+    "CampaignEvent",
+    "CampaignReport",
+    "SelectionManifest",
+    "ServingConfig",
+    "ServingReport",
+]

@@ -14,6 +14,11 @@ Select workers on S-1 and serve 200 working tasks through the selected pool::
 
     repro-crowd serve --dataset S-1 --selector ours --router domain_affinity --tasks 200
 
+Run two concurrent campaigns against one churning marketplace with a
+crash-recoverable event journal::
+
+    repro-crowd marketplace --datasets S-1 S-2 --ticks 50 --journal run.jsonl
+
 Run a campaign on a contaminated pool (10% spammers)::
 
     repro-crowd run --dataset S-1 --scenario spam10 --selector ours
@@ -63,6 +68,11 @@ from repro.datasets.registry import (
 from repro.platform.answers import ANSWER_ENGINES
 from repro.serving.routing import router_exists, router_names
 from repro.workers.registry import behavior_names, describe_behavior
+
+# ``repro-crowd serve`` exits with this status (not 0) when the drift
+# detector recommends re-selection, so shell pipelines can branch on the
+# signal without parsing the report.
+RESELECTION_EXIT_CODE = 3
 
 EXPERIMENTS = (
     "table2",
@@ -340,7 +350,9 @@ def build_parser() -> argparse.ArgumentParser:
             "Run one selection campaign and hand the selected workers to the "
             "serving layer: route a stream of working tasks with the chosen "
             "policy, aggregate the answers online and report labels, drift "
-            "events and the re-selection signal."
+            "events and the re-selection signal.  Exits with status "
+            f"{RESELECTION_EXIT_CODE} (instead of 0) when the drift detector "
+            "recommends re-selecting the pool."
         ),
     )
     serve_parser.add_argument("--dataset", type=_dataset_name, default="S-1", help="dataset name (default S-1)")
@@ -380,7 +392,96 @@ def build_parser() -> argparse.ArgumentParser:
         default="dawid_skene",
         help="online label aggregator (default dawid_skene)",
     )
+    serve_parser.add_argument(
+        "--reselect-fraction",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="fraction of the pool that must drift on one domain before re-selection is recommended (default 0.5)",
+    )
     serve_parser.add_argument("--json", action="store_true", help="print the full serving report as JSON")
+
+    marketplace_parser = subparsers.add_parser(
+        "marketplace",
+        help="run N concurrent campaigns against one shared, churning worker marketplace",
+        description=(
+            "Multi-campaign marketplace orchestration: run one campaign per "
+            "--datasets entry concurrently against a shared worker marketplace "
+            "with open-world churn (seeded arrivals with prestudy "
+            "qualification, departures with in-flight vote invalidation) under "
+            "a deterministic batched-tick event loop.  With --journal, every "
+            "tick is appended to a crash-recoverable JSONL journal whose bytes "
+            "are identical at any --tick-batch; --resume replays a prefix and "
+            "continues."
+        ),
+    )
+    marketplace_parser.add_argument(
+        "--datasets",
+        nargs="+",
+        type=_dataset_name,
+        default=["S-1", "S-2"],
+        metavar="NAME",
+        help="one campaign per dataset (default: S-1 S-2)",
+    )
+    marketplace_parser.add_argument(
+        "--selector",
+        type=_selector_name,
+        default="us",
+        help=f"selector used by every campaign (default 'us'); choices: {', '.join(selector_names())}",
+    )
+    marketplace_parser.add_argument(
+        "--k", type=int, default=None, help="workers to select per campaign (default: each dataset's k)"
+    )
+    marketplace_parser.add_argument("--seed", type=int, default=0, help="marketplace seed (default 0)")
+    marketplace_parser.add_argument("--ticks", type=int, default=50, help="ticks to run (default 50)")
+    marketplace_parser.add_argument(
+        "--tick-batch",
+        type=int,
+        default=8,
+        metavar="N",
+        help="ticks buffered per journal fsync (default 8; bytes are identical at any value)",
+    )
+    marketplace_parser.add_argument(
+        "--tasks-per-tick", type=int, default=2, help="tasks each serving campaign submits per tick (default 2)"
+    )
+    marketplace_parser.add_argument(
+        "--votes", type=int, default=3, help="distinct workers asked per working task (default 3)"
+    )
+    marketplace_parser.add_argument(
+        "--router",
+        type=_router_name,
+        default="least_loaded",
+        help=f"routing policy shared by every campaign (default 'least_loaded'); choices: {', '.join(router_names())}",
+    )
+    marketplace_parser.add_argument(
+        "--arrival-rate", type=float, default=0.5, help="expected worker arrivals per tick (default 0.5)"
+    )
+    marketplace_parser.add_argument(
+        "--departure-rate",
+        type=float,
+        default=0.02,
+        help="per-present-worker departure probability per tick (default 0.02)",
+    )
+    marketplace_parser.add_argument(
+        "--total-tasks",
+        type=int,
+        default=None,
+        help="tasks each campaign must label before DONE (default: the dataset's working set)",
+    )
+    marketplace_parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="append-only JSONL event journal (crash-recoverable; fsynced per tick batch)",
+    )
+    marketplace_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay an existing --journal prefix and continue the run (requires --journal)",
+    )
+    marketplace_parser.add_argument(
+        "--json", action="store_true", help="print the full marketplace report as JSON"
+    )
     return parser
 
 
@@ -499,6 +600,9 @@ def _report_campaign(campaign: Campaign, args: argparse.Namespace) -> int:
 
 def _serve_campaign(args: argparse.Namespace) -> int:
     """The ``repro-crowd serve`` subcommand: selection + serving handoff."""
+    overrides = {}
+    if args.reselect_fraction is not None:
+        overrides["reselect_fraction"] = args.reselect_fraction
     try:
         campaign = Campaign(
             dataset=_apply_scenario(args.dataset, args.scenario),
@@ -513,14 +617,16 @@ def _serve_campaign(args: argparse.Namespace) -> int:
             max_assignments=args.budget,
             aggregator=args.aggregator,
             seed=args.seed,
+            **overrides,
         )
     except (KeyError, TypeError, ValueError) as exc:
         message = exc.args[0] if exc.args and isinstance(exc.args[0], str) else exc
         print(f"repro-crowd serve: error: {message}", file=sys.stderr)
         return 2
+    exit_code = RESELECTION_EXIT_CODE if report.reselection_recommended else 0
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
-        return 0
+        return exit_code
     print(
         f"served {report.n_tasks_routed} working tasks via {report.router} "
         f"({report.n_answers} answers, {report.aggregator} aggregation)"
@@ -542,7 +648,84 @@ def _serve_campaign(args: argparse.Namespace) -> int:
             )
     else:
         print("drift events: none")
-    print(f"re-selection recommended: {'yes' if report.reselection_recommended else 'no'}")
+    if report.reselection_recommended:
+        domains = ", ".join(report.reselection_domains)
+        print(f"re-selection recommended: yes ({domains}) — exiting {RESELECTION_EXIT_CODE}")
+    else:
+        print("re-selection recommended: no")
+    return exit_code
+
+
+def _run_marketplace(args: argparse.Namespace) -> int:
+    """The ``repro-crowd marketplace`` subcommand: the multi-campaign orchestrator."""
+    from repro.marketplace import (
+        CampaignSpec,
+        ChurnConfig,
+        JournalError,
+        MarketplaceConfig,
+        MarketplaceOrchestrator,
+    )
+    from repro.stats.rng import derive_seed
+
+    if args.resume and args.journal is None:
+        print("repro-crowd marketplace: error: --resume requires --journal", file=sys.stderr)
+        return 2
+    try:
+        # Campaign names must be journal-safe (no scenario separator) and
+        # unique even when the same dataset appears twice, so they are
+        # index-prefixed sanitised dataset names: "c0-s-1", "c1-s-1:drift20"
+        # becomes "c1-s-1-drift20".
+        specs = [
+            CampaignSpec(
+                name=f"c{index}-{dataset.lower().replace(SCENARIO_SEPARATOR, '-')}",
+                dataset=dataset,
+                selector=args.selector,
+                k=args.k,
+                seed=derive_seed(args.seed, "marketplace", "campaign", index, dataset),
+            )
+            for index, dataset in enumerate(args.datasets)
+        ]
+        orchestrator = MarketplaceOrchestrator(
+            specs,
+            config=MarketplaceConfig(
+                router=args.router,
+                votes_per_task=args.votes,
+                tasks_per_tick=args.tasks_per_tick,
+                total_tasks=args.total_tasks,
+            ),
+            churn=ChurnConfig(arrival_rate=args.arrival_rate, departure_rate=args.departure_rate),
+            journal_path=args.journal,
+            seed=args.seed,
+        )
+        report = orchestrator.run(args.ticks, tick_batch=args.tick_batch, resume=args.resume)
+    except (JournalError, KeyError, TypeError, ValueError) as exc:
+        message = exc.args[0] if exc.args and isinstance(exc.args[0], str) else exc
+        print(f"repro-crowd marketplace: error: {message}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0
+    market = report.marketplace
+    print(
+        f"ran {len(report.campaigns)} campaigns for {report.n_ticks} ticks "
+        f"in {report.elapsed_s:.2f}s"
+    )
+    print(
+        f"marketplace churn: {market['arrivals_admitted']} admitted, "
+        f"{market['arrivals_rejected']} rejected, {market['departures']} departed "
+        f"({market['workers_present']}/{market['workers_total']} workers present)"
+    )
+    for campaign in report.campaigns:
+        accuracy = campaign["label_accuracy"]
+        accuracy_text = "n/a" if accuracy is None else f"{accuracy:.3f}"
+        print(
+            f"  {campaign['name']} [{campaign['phase']}]: "
+            f"{campaign['tasks_routed']} tasks routed, {campaign['n_labels']} labels "
+            f"(accuracy {accuracy_text}), {campaign['reselections']} re-selections, "
+            f"{campaign['invalidated_votes']} votes invalidated"
+        )
+    if args.journal is not None:
+        print(f"journal: {args.journal}")
     return 0
 
 
@@ -619,6 +802,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_campaign(args)
     if args.experiment == "serve":
         return _serve_campaign(args)
+    if args.experiment == "marketplace":
+        return _run_marketplace(args)
     if args.experiment == "experiments":
         return _run_experiments(args)
     if args.experiment == "robustness":

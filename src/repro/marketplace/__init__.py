@@ -1,0 +1,59 @@
+"""Multi-campaign marketplace orchestration: shared workers, churn, journaled ticks.
+
+The selection pipeline ends with one campaign's top-``k``; the serving
+layer drives one campaign's annotation phase.  This package is the layer
+above both: a long-lived orchestrator running **N concurrent campaigns**
+against **one shared, churning worker marketplace** under a
+deterministic batched-tick event loop.
+
+* :mod:`~repro.marketplace.churn` — seeded open-world churn (arrivals
+  and departures as pure counter-based draws);
+* :mod:`~repro.marketplace.journal` — the append-only, fsynced, crash-
+  recoverable :class:`EventJournal` (byte-identical at any tick batch
+  size);
+* :mod:`~repro.marketplace.lifecycle` — the SELECTING → SERVING →
+  RESELECTING → DONE :class:`CampaignHandle` lifecycle that consumes the
+  drift detector's re-selection signal via ``Campaign.state_dict()``
+  checkpointing;
+* :mod:`~repro.marketplace.orchestrator` — the shared
+  :class:`Marketplace` registry (prestudy qualification, in-flight vote
+  invalidation, cross-campaign concurrency contention) and the
+  :class:`MarketplaceOrchestrator` event loop.
+"""
+
+from repro.marketplace.churn import ChurnConfig, ChurnModel
+from repro.marketplace.journal import (
+    JOURNAL_SCHEMA_VERSION,
+    EventJournal,
+    JournalCorruptionError,
+    JournalError,
+    JournalFingerprintError,
+    encode_record,
+)
+from repro.marketplace.lifecycle import CampaignHandle, CampaignPhase, CampaignSpec
+from repro.marketplace.orchestrator import (
+    Marketplace,
+    MarketplaceConfig,
+    MarketplaceOrchestrator,
+    MarketplaceReport,
+    MarketWorker,
+)
+
+__all__ = [
+    "ChurnConfig",
+    "ChurnModel",
+    "JOURNAL_SCHEMA_VERSION",
+    "EventJournal",
+    "JournalError",
+    "JournalCorruptionError",
+    "JournalFingerprintError",
+    "encode_record",
+    "CampaignHandle",
+    "CampaignPhase",
+    "CampaignSpec",
+    "Marketplace",
+    "MarketplaceConfig",
+    "MarketplaceOrchestrator",
+    "MarketplaceReport",
+    "MarketWorker",
+]

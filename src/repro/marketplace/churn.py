@@ -1,0 +1,116 @@
+"""Seeded open-world churn: who arrives and who departs at each tick.
+
+The churn draws are **counter-based** (the splitmix64 streams of
+:mod:`repro.stats.rng`): every arrival count is a pure function of
+``(seed, tick)`` and every departure decision a pure function of
+``(seed, worker_id, tick)``.  No generator state is threaded through the
+event loop, so the trace is independent of tick batching, of the order
+workers are examined in, and of how many campaigns share the
+marketplace — which is exactly the property the journal's
+batch-size-invariance guarantee rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.stats.rng import counter_uniforms, derive_seed, stream_seeds, token_hashes
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Tuning of the marketplace churn model.
+
+    Attributes
+    ----------
+    arrival_rate:
+        Expected new-worker arrivals per tick (Bernoulli thinning over
+        ``max_arrivals_per_tick`` slots, so the realised count per tick
+        lies in ``[0, max_arrivals_per_tick]``).
+    departure_rate:
+        Per-present-worker probability of departing at each tick.
+    max_arrivals_per_tick:
+        Arrival slots evaluated per tick.
+    bursts:
+        Extra deterministic arrivals injected at specific ticks
+        (``{tick: count}``) — models a recruitment push or a demo's
+        injected churn burst on top of the random stream.
+    """
+
+    arrival_rate: float = 0.5
+    departure_rate: float = 0.02
+    max_arrivals_per_tick: int = 4
+    bursts: Mapping[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate < 0:
+            raise ValueError("arrival_rate must be non-negative")
+        if not 0.0 <= self.departure_rate <= 1.0:
+            raise ValueError("departure_rate must lie in [0, 1]")
+        if self.max_arrivals_per_tick <= 0:
+            raise ValueError("max_arrivals_per_tick must be positive")
+        if self.arrival_rate > self.max_arrivals_per_tick:
+            raise ValueError("arrival_rate cannot exceed max_arrivals_per_tick")
+        normalized: Dict[int, int] = {}
+        for tick, count in dict(self.bursts).items():
+            if int(count) < 0:
+                raise ValueError(f"burst count at tick {tick} must be non-negative")
+            if int(count) > 0:
+                normalized[int(tick)] = int(count)
+        object.__setattr__(self, "bursts", normalized)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable representation (part of the journal fingerprint)."""
+        return {
+            "arrival_rate": self.arrival_rate,
+            "departure_rate": self.departure_rate,
+            "max_arrivals_per_tick": self.max_arrivals_per_tick,
+            # JSON object keys are strings; sort for a stable fingerprint.
+            "bursts": {str(tick): self.bursts[tick] for tick in sorted(self.bursts)},
+        }
+
+
+class ChurnModel:
+    """Counter-based churn draws for one marketplace run."""
+
+    def __init__(self, config: ChurnConfig, seed: int = 0) -> None:
+        self._config = config
+        self._arrival_seed = derive_seed(seed, "marketplace", "churn", "arrivals")
+        self._departure_seed = derive_seed(seed, "marketplace", "churn", "departures")
+
+    @property
+    def config(self) -> ChurnConfig:
+        return self._config
+
+    def arrivals_at(self, tick: int) -> int:
+        """Number of workers arriving at ``tick`` (pure function of the tick)."""
+        if tick < 0:
+            raise ValueError("tick must be non-negative")
+        slots = self._config.max_arrivals_per_tick
+        p = min(1.0, self._config.arrival_rate / slots)
+        random_count = 0
+        if p > 0:
+            seeds = stream_seeds(self._arrival_seed, np.asarray([1], dtype=np.uint64), tick)
+            uniforms = counter_uniforms(seeds, slots)
+            random_count = int((uniforms < p).sum())
+        return random_count + self._config.bursts.get(tick, 0)
+
+    def departures_among(self, worker_ids: Sequence[str], tick: int) -> List[str]:
+        """Subset of ``worker_ids`` departing at ``tick``, in input order.
+
+        Each decision depends only on ``(seed, worker_id, tick)``, so a
+        worker's fate at a tick is unaffected by who else is present.
+        """
+        if tick < 0:
+            raise ValueError("tick must be non-negative")
+        if not worker_ids or self._config.departure_rate <= 0:
+            return []
+        seeds = stream_seeds(self._departure_seed, token_hashes(worker_ids), tick)
+        uniforms = counter_uniforms(seeds, 1)[:, 0]
+        return [worker_id for worker_id, u in zip(worker_ids, uniforms) if u < self._config.departure_rate]
+
+
+__all__ = ["ChurnConfig", "ChurnModel"]

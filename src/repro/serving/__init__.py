@@ -39,6 +39,7 @@ from repro.serving.routing import (
     router_names,
 )
 from repro.serving.service import (
+    SERVING_SCHEMA_VERSION,
     AnnotationService,
     ServingConfig,
     ServingReport,
@@ -47,6 +48,7 @@ from repro.serving.service import (
 )
 
 __all__ = [
+    "SERVING_SCHEMA_VERSION",
     "AnnotationService",
     "BaseRouter",
     "DomainQualification",

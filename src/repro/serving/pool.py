@@ -8,6 +8,14 @@ lifetime assignment counters.  It is deliberately free of routing logic —
 policies read eligibility and load here and write assignments back through
 :meth:`begin_assignment` / :meth:`complete_assignment`, so every policy
 enforces the same caps by construction.
+
+Pool membership is *mutable*: the marketplace orchestrator adds workers as
+they arrive (prestudy-qualified) and removes them when they churn out.
+Because some policies keep derived state (the ``least_loaded`` heap),
+mutation goes through an explicit invalidation protocol: listeners
+registered via :meth:`add_listener` are notified on every
+:meth:`add_worker` / :meth:`remove_worker`, so a router can never silently
+route to a departed worker off stale internal state.
 """
 
 from __future__ import annotations
@@ -68,6 +76,7 @@ class ServingPool:
     ) -> None:
         self._policy = policy
         self._workers: Dict[str, ServingWorker] = {}
+        self._listeners: List[object] = []
         for worker in workers:
             if worker.worker_id in self._workers:
                 raise ValueError(f"duplicate worker id: {worker.worker_id!r}")
@@ -163,6 +172,55 @@ class ServingPool:
         return list(self._workers.values())
 
     # ------------------------------------------------------------------ #
+    # Membership mutation (open-world marketplaces)
+    # ------------------------------------------------------------------ #
+    def add_listener(self, listener: object) -> None:
+        """Subscribe to membership changes.
+
+        ``listener`` may implement ``on_worker_added(worker_id)`` and/or
+        ``on_worker_removed(worker_id)``; missing hooks are skipped.  The
+        routing policies subscribe themselves at construction so their
+        derived state (e.g. the ``least_loaded`` heap) is invalidated the
+        moment membership changes.
+        """
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def discard_listener(self, listener: object) -> None:
+        """Unsubscribe a listener (no-op when it was never subscribed)."""
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    def _notify(self, hook: str, worker_id: str) -> None:
+        for listener in self._listeners:
+            callback = getattr(listener, hook, None)
+            if callback is not None:
+                callback(worker_id)
+
+    def add_worker(self, worker: ServingWorker) -> None:
+        """Admit one worker into the pool (marketplace arrival)."""
+        if worker.worker_id in self._workers:
+            raise ValueError(f"duplicate worker id: {worker.worker_id!r}")
+        self._workers[worker.worker_id] = worker
+        self._notify("on_worker_added", worker.worker_id)
+
+    def remove_worker(self, worker_id: str) -> ServingWorker:
+        """Remove one worker (marketplace departure); returns its record.
+
+        In-flight assignments are *not* released here — the caller
+        invalidates pending votes first (``release_assignment`` /
+        :meth:`~repro.serving.service.AnnotationService.invalidate_worker`)
+        while the worker is still a member.  Removal may empty the pool;
+        routers then raise ``NoEligibleWorkersError`` until an arrival
+        refills it.
+        """
+        if worker_id not in self._workers:
+            raise KeyError(f"unknown worker id: {worker_id!r}")
+        worker = self._workers.pop(worker_id)
+        self._notify("on_worker_removed", worker_id)
+        return worker
+
+    # ------------------------------------------------------------------ #
     # Eligibility and load
     # ------------------------------------------------------------------ #
     def eligible(self, domain: str, min_tier: QualificationTier = QualificationTier.FALLBACK) -> List[str]:
@@ -198,6 +256,21 @@ class ServingPool:
             raise RuntimeError(f"worker {worker_id!r} has no in-flight assignment to complete")
         worker.active -= 1
         worker.completed_total += 1
+
+    def release_assignment(self, worker_id: str) -> None:
+        """Undo a routing charge without counting it as completed work.
+
+        Used when an in-flight vote is invalidated (the worker departed,
+        or a ``route_excluding`` pick turned out to be surplus): the
+        in-flight slot frees up and the lifetime ``assigned_total`` charge
+        is rolled back, so load-based routing is not skewed by work that
+        never happened.
+        """
+        worker = self[worker_id]
+        if worker.active <= 0:
+            raise RuntimeError(f"worker {worker_id!r} has no in-flight assignment to release")
+        worker.active -= 1
+        worker.assigned_total -= 1
 
     def demote(self, worker_id: str, domain: str) -> QualificationTier:
         """Drop the worker one tier on ``domain``; returns the new tier.

@@ -52,10 +52,19 @@ class BaseRouter(abc.ABC):
     def __init__(self, pool: ServingPool, min_tier: QualificationTier = QualificationTier.FALLBACK) -> None:
         self._pool = pool
         self._min_tier = min_tier
+        pool.add_listener(self)
 
     @property
     def pool(self) -> ServingPool:
         return self._pool
+
+    # Membership-invalidation hooks (see ServingPool.add_listener).  The
+    # defaults are no-ops; policies with derived state override them.
+    def on_worker_added(self, worker_id: str) -> None:
+        """Called by the pool after a worker is admitted."""
+
+    def on_worker_removed(self, worker_id: str) -> None:
+        """Called by the pool after a worker departs."""
 
     @abc.abstractmethod
     def route(self, domain: str, n_votes: int) -> List[str]:
@@ -71,6 +80,31 @@ class BaseRouter(abc.ABC):
     def _check_votes(self, n_votes: int) -> None:
         if n_votes <= 0:
             raise ValueError("n_votes must be positive")
+
+    def route_excluding(self, domain: str, n_votes: int, exclude: Iterable[str]) -> List[str]:
+        """Route up to ``n_votes`` workers, none of which are in ``exclude``.
+
+        Used to reassign an invalidated vote: the replacement must not be
+        a worker that already holds (or held) a vote on the same task.
+        Over-requests by ``len(exclude)`` picks and releases the surplus
+        charges, so the underlying policy needs no exclusion support.
+        Unlike :meth:`route`, capacity exhaustion returns ``[]`` instead
+        of raising — an unassignable replacement vote is dropped, not
+        fatal.
+        """
+        self._check_votes(n_votes)
+        excluded = set(exclude)
+        try:
+            picks = self.route(domain, n_votes + len(excluded))
+        except NoEligibleWorkersError:
+            return []
+        chosen: List[str] = []
+        for worker_id in picks:
+            if worker_id not in excluded and len(chosen) < n_votes:
+                chosen.append(worker_id)
+            else:
+                self._pool.release_assignment(worker_id)
+        return chosen
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"
@@ -232,6 +266,12 @@ class LeastLoadedRouter(BaseRouter):
     live counters is discarded and re-pushed with the current key, so load
     released by :meth:`ServingPool.complete_assignment` is picked up
     without the pool having to notify the router.
+
+    Membership changes *are* notified (the pool's listener protocol):
+    arrivals are pushed onto the heap via :meth:`on_worker_added`, and
+    entries for departed workers are discarded at pop time by a membership
+    check — without it a stale heap entry would route a vote to a worker
+    that is no longer in the pool.
     """
 
     name = "least_loaded"
@@ -243,12 +283,19 @@ class LeastLoadedRouter(BaseRouter):
         ]
         heapq.heapify(self._heap)
 
+    def on_worker_added(self, worker_id: str) -> None:
+        worker = self._pool[worker_id]
+        heapq.heappush(self._heap, (worker.active, worker.assigned_total, worker_id))
+
     def route(self, domain: str, n_votes: int) -> List[str]:
         self._check_votes(n_votes)
         chosen: List[str] = []
         held_back: List[Tuple[int, int, str]] = []
         while self._heap and len(chosen) < n_votes:
             active, assigned, worker_id = heapq.heappop(self._heap)
+            if worker_id not in self._pool:
+                # Stale entry for a departed worker — drop it for good.
+                continue
             worker = self._pool[worker_id]
             if (active, assigned) != (worker.active, worker.assigned_total):
                 # Stale key — reinsert at the live position and retry.

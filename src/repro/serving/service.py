@@ -37,6 +37,11 @@ from repro.serving.routing import NoEligibleWorkersError, make_router, resolve_r
 #: ``(worker_id, task) -> answer`` — how a routed worker answers a task.
 AnswerOracle = Callable[[str, Task], bool]
 
+#: Schema version stamped into every serialised serving trace, mirroring
+#: ``RECORD_SCHEMA_VERSION`` in :mod:`repro.experiments.store`: bump it on
+#: any payload-shape change so journaled traces stay forward-compatible.
+SERVING_SCHEMA_VERSION = 1
+
 _AGGREGATORS = ("dawid_skene", "majority")
 
 
@@ -131,6 +136,8 @@ class ServingReport:
     label_accuracy: Optional[float]
     worker_load: Dict[str, Dict[str, int]]
     elapsed_s: float
+    reselection_domains: List[str] = field(default_factory=list)
+    invalidations: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def tasks_per_second(self) -> float:
@@ -140,6 +147,7 @@ class ServingReport:
     def trace_dict(self) -> Dict[str, object]:
         """The deterministic subset: identical across runs of one (seed, policy)."""
         return {
+            "schema_version": SERVING_SCHEMA_VERSION,
             "router": self.router,
             "aggregator": self.aggregator,
             "n_tasks_routed": self.n_tasks_routed,
@@ -148,7 +156,9 @@ class ServingReport:
             "labels": dict(self.labels),
             "drift_events": [event.to_dict() for event in self.drift_events],
             "demotions": list(self.demotions),
+            "invalidations": list(self.invalidations),
             "reselection_recommended": self.reselection_recommended,
+            "reselection_domains": list(self.reselection_domains),
             "spent_assignments": self.spent_assignments,
             "max_assignments": self.max_assignments,
             "budget_exhausted": self.budget_exhausted,
@@ -214,6 +224,7 @@ class AnnotationService:
         self._assignments: List[TaskAssignment] = []
         self._pending: Dict[str, _PendingTask] = {}
         self._demotions: List[Dict[str, str]] = []
+        self._invalidations: List[Dict[str, object]] = []
         self._spent_assignments = 0
         self._budget_exhausted = False
         self._capacity_exhausted = False
@@ -244,13 +255,44 @@ class AnnotationService:
         return self._config.max_assignments - self._spent_assignments
 
     @property
-    def reselection_recommended(self) -> bool:
-        """Whether enough of the pool drifted on one domain to warrant a fresh campaign."""
+    def reselection_domains(self) -> List[str]:
+        """Domains whose drifted-worker count crossed the re-selection threshold (sorted)."""
         drifted_by_domain: Dict[str, set] = {}
         for event in self._tracker.events:
             drifted_by_domain.setdefault(event.domain, set()).add(event.worker_id)
         threshold = self._config.reselect_fraction * len(self._pool)
-        return any(len(workers) >= threshold for workers in drifted_by_domain.values())
+        return sorted(
+            domain for domain, workers in drifted_by_domain.items() if len(workers) >= threshold
+        )
+
+    @property
+    def reselection_recommended(self) -> bool:
+        """Whether enough of the pool drifted on one domain to warrant a fresh campaign."""
+        return bool(self.reselection_domains)
+
+    @property
+    def demotions(self) -> List[Dict[str, str]]:
+        """Qualification demotions so far (drift events that cost a tier)."""
+        return list(self._demotions)
+
+    @property
+    def invalidations(self) -> List[Dict[str, object]]:
+        """In-flight vote invalidations so far (see :meth:`invalidate_worker`)."""
+        return list(self._invalidations)
+
+    @property
+    def pending_task_ids(self) -> List[str]:
+        """Ids of routed tasks still waiting for votes, in routing order."""
+        return list(self._pending)
+
+    def is_awaiting(self, task_id: str, worker_id: str) -> bool:
+        """Whether ``worker_id`` still owes an answer on ``task_id``."""
+        pending = self._pending.get(task_id)
+        return (
+            pending is not None
+            and worker_id in pending.expected
+            and worker_id not in pending.answers
+        )
 
     # ------------------------------------------------------------------ #
     # Low-level serving API
@@ -311,6 +353,70 @@ class AnnotationService:
                 self._demotions.append(
                     {"worker_id": worker_id, "domain": domain, "new_tier": new_tier.name.lower()}
                 )
+
+    def invalidate_worker(self, worker_id: str, reassign: bool = True) -> List[Dict[str, object]]:
+        """Invalidate every unanswered in-flight vote held by ``worker_id``.
+
+        Called when a worker departs the marketplace mid-assignment: each
+        vote the worker still owes is released (the routing charge and the
+        budget spend are rolled back — the work never happened) and, when
+        ``reassign`` is set and budget remains, re-routed to one worker not
+        already on the task.  Answers the worker already gave stay counted.
+        A task whose expected-vote set empties is abandoned entirely; one
+        whose remaining votes are all in is finalised immediately.
+
+        Returns the invalidation records (also accumulated on
+        :attr:`invalidations` and in the serving report), each carrying
+        ``task_id``, ``domain``, ``worker_id``, ``replacements`` and
+        ``abandoned``.
+        """
+        invalidated: List[Dict[str, object]] = []
+        for task_id in list(self._pending):
+            pending = self._pending[task_id]
+            if worker_id not in pending.expected or worker_id in pending.answers:
+                continue
+            self._pool.release_assignment(worker_id)
+            self._spent_assignments -= 1
+            exclude = set(pending.expected) | {worker_id}
+            pending.expected = tuple(w for w in pending.expected if w != worker_id)
+            replacements: List[str] = []
+            if reassign and (self.remaining_assignments is None or self.remaining_assignments > 0):
+                replacements = self._router.route_excluding(pending.task.domain, 1, exclude)
+                self._spent_assignments += len(replacements)
+                pending.expected = pending.expected + tuple(replacements)
+            record: Dict[str, object] = {
+                "task_id": task_id,
+                "domain": pending.task.domain,
+                "worker_id": worker_id,
+                "replacements": list(replacements),
+                "abandoned": not pending.expected,
+            }
+            invalidated.append(record)
+            self._invalidations.append(record)
+            if not pending.expected:
+                del self._pending[task_id]
+            elif len(pending.answers) == len(pending.expected):
+                self._finalize(task_id, pending)
+        return invalidated
+
+    def abandon_pending(self) -> List[str]:
+        """Drop every in-flight task, releasing its unanswered routing charges.
+
+        Called when a campaign leaves its serving segment (drift-triggered
+        re-selection): without the release, shared marketplace workers
+        would keep phantom in-flight load and starve other campaigns.
+        Returns the abandoned task ids in routing order so the caller can
+        re-queue them.
+        """
+        abandoned: List[str] = []
+        for task_id in list(self._pending):
+            pending = self._pending.pop(task_id)
+            for worker_id in pending.expected:
+                if worker_id not in pending.answers:
+                    self._pool.release_assignment(worker_id)
+                    self._spent_assignments -= 1
+            abandoned.append(task_id)
+        return abandoned
 
     # ------------------------------------------------------------------ #
     # Simulated serving loop
@@ -380,6 +486,8 @@ class AnnotationService:
             label_accuracy=label_accuracy,
             worker_load=self._pool.load_snapshot(),
             elapsed_s=self._elapsed_s,
+            reselection_domains=self.reselection_domains,
+            invalidations=list(self._invalidations),
         )
 
 
@@ -418,6 +526,7 @@ def working_task_stream(task_bank: TaskBank, n_tasks: Optional[int] = None) -> L
 
 __all__ = [
     "AnswerOracle",
+    "SERVING_SCHEMA_VERSION",
     "ServingConfig",
     "TaskAssignment",
     "ServingReport",

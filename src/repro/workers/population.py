@@ -366,6 +366,7 @@ def sample_learning_population(
     n_workers: int,
     rng: SeedLike = None,
     id_prefix: str = "worker",
+    id_offset: int = 0,
 ) -> List[WorkerBehavior]:
     """Sample a worker pool according to ``config``.
 
@@ -384,10 +385,16 @@ def sample_learning_population(
     rng:
         Seed or generator; the draw is fully deterministic given it.
     id_prefix:
-        Worker identifiers become ``f"{id_prefix}-{index:03d}"``.
+        Worker identifiers become ``f"{id_prefix}-{id_offset + index:03d}"``.
+    id_offset:
+        Starting index for the identifiers — lets incremental samplers
+        (marketplace arrivals drawn one at a time) mint globally unique
+        ids from the same prefix without re-numbering earlier draws.
     """
     if n_workers <= 0:
         raise ValueError(f"n_workers must be positive, got {n_workers}")
+    if id_offset < 0:
+        raise ValueError(f"id_offset must be non-negative, got {id_offset}")
     generator = as_generator(rng)
     model = config.accuracy_model(generator)
     samples = sample_truncated_mvn(model, size=n_workers, rng=generator, lower=0.0, upper=1.0)
@@ -409,7 +416,7 @@ def sample_learning_population(
         }
         counts = {domain: int(config.prior_task_count) for domain in config.prior_domains}
         profile = WorkerProfile(
-            worker_id=f"{id_prefix}-{index:03d}",
+            worker_id=f"{id_prefix}-{id_offset + index:03d}",
             accuracies=accuracies,
             task_counts=counts,
         )

@@ -201,3 +201,62 @@ class TestScenarioCommands:
         ) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["n_tasks_routed"] == 30
+
+    def test_serve_exits_with_reselection_status(self, capsys):
+        # Heavy drift + a low threshold: the re-selection signal must be
+        # surfaced as a distinct exit status so pipelines can branch on it.
+        code = main(
+            ["serve", "--dataset", "S-1", "--scenario", "drift40", "--selector", "us",
+             "--k", "5", "--tasks", "120", "--aggregator", "majority",
+             "--reselect-fraction", "0.2", "--json"]
+        )
+        assert code == 3
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["reselection_recommended"] is True
+        assert payload["reselection_domains"] == ["target"]
+        assert payload["schema_version"] == 1
+
+
+class TestMarketplaceCommand:
+    def test_defaults(self):
+        args = build_parser().parse_args(["marketplace"])
+        assert args.experiment == "marketplace"
+        assert args.datasets == ["S-1", "S-2"]
+        assert args.ticks == 50
+        assert args.tick_batch == 8
+        assert args.router == "least_loaded"
+        assert args.journal is None and not args.resume
+
+    def test_json_report(self, capsys):
+        assert main(["marketplace", "--ticks", "20", "--total-tasks", "20", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_ticks"] == 20
+        assert [campaign["name"] for campaign in payload["campaigns"]] == ["c0-s-1", "c1-s-2"]
+        assert payload["marketplace"]["arrivals_admitted"] >= 0
+
+    def test_human_output_summarises_churn_and_campaigns(self, capsys):
+        assert main(["marketplace", "--ticks", "20", "--total-tasks", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "marketplace churn" in out
+        assert "c0-s-1" in out and "c1-s-2" in out
+
+    def test_journal_resume_round_trip(self, tmp_path, capsys):
+        journal = tmp_path / "mkt.jsonl"
+        argv = ["marketplace", "--ticks", "20", "--total-tasks", "20",
+                "--journal", str(journal), "--json"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        reference = journal.read_bytes()
+        lines = reference.decode("utf-8").splitlines(keepends=True)
+        journal.write_text("".join(lines[:6]), encoding="utf-8")
+        assert main(argv + ["--resume"]) == 0
+        capsys.readouterr()
+        assert journal.read_bytes() == reference
+
+    def test_resume_requires_journal(self, capsys):
+        assert main(["marketplace", "--resume"]) == 2
+        assert "--resume requires --journal" in capsys.readouterr().err
+
+    def test_scenario_qualified_datasets_accepted(self):
+        args = build_parser().parse_args(["marketplace", "--datasets", "s-1:DRIFT20", "S-2"])
+        assert args.datasets == ["S-1:drift20", "S-2"]

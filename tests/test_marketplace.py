@@ -1,0 +1,275 @@
+"""Tests for the marketplace layer: churn, journal, lifecycle, orchestration."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.marketplace import (
+    JOURNAL_SCHEMA_VERSION,
+    CampaignPhase,
+    CampaignSpec,
+    ChurnConfig,
+    ChurnModel,
+    EventJournal,
+    JournalCorruptionError,
+    JournalFingerprintError,
+    MarketplaceConfig,
+    MarketplaceOrchestrator,
+    encode_record,
+)
+from repro.serving.quality import DriftConfig
+
+
+def make_orchestrator(journal_path=None, seed=7):
+    """Two fast campaigns over a churning marketplace (the reference setup)."""
+    specs = [
+        CampaignSpec(name="alpha", dataset="S-1", selector="us", k=5, seed=1),
+        CampaignSpec(name="beta", dataset="S-2", selector="us", k=5, seed=2),
+    ]
+    return MarketplaceOrchestrator(
+        specs,
+        config=MarketplaceConfig(total_tasks=30),
+        churn=ChurnConfig(arrival_rate=0.8, departure_rate=0.05),
+        journal_path=journal_path,
+        seed=seed,
+    )
+
+
+class TestChurn:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ChurnConfig(arrival_rate=-1.0)
+        with pytest.raises(ValueError):
+            ChurnConfig(departure_rate=1.5)
+        with pytest.raises(ValueError):
+            ChurnConfig(arrival_rate=9.0, max_arrivals_per_tick=4)
+        with pytest.raises(ValueError):
+            ChurnConfig(bursts={3: -1})
+
+    def test_arrival_counts_are_pure_functions_of_the_tick(self):
+        config = ChurnConfig(arrival_rate=1.0)
+        counts = [ChurnModel(config, seed=3).arrivals_at(tick) for tick in range(50)]
+        again = [ChurnModel(config, seed=3).arrivals_at(tick) for tick in range(50)]
+        assert counts == again
+        assert any(counts)
+        assert max(counts) <= config.max_arrivals_per_tick
+
+    def test_bursts_add_deterministic_arrivals(self):
+        base = ChurnModel(ChurnConfig(arrival_rate=0.5), seed=3)
+        burst = ChurnModel(ChurnConfig(arrival_rate=0.5, bursts={7: 5}), seed=3)
+        assert burst.arrivals_at(7) == base.arrivals_at(7) + 5
+        assert burst.arrivals_at(8) == base.arrivals_at(8)
+
+    def test_departure_decisions_independent_of_cohort(self):
+        # A worker's fate at a tick must not depend on who else is present,
+        # or the trace would depend on campaign count and examination order.
+        model = ChurnModel(ChurnConfig(departure_rate=0.5), seed=3)
+        worker_ids = [f"w{index}" for index in range(20)]
+        departed = set(model.departures_among(worker_ids, 4))
+        assert 0 < len(departed) < len(worker_ids)
+        for worker_id in worker_ids:
+            alone = model.departures_among([worker_id], 4)
+            assert (alone == [worker_id]) == (worker_id in departed)
+
+    def test_burst_config_round_trips_through_to_dict(self):
+        config = ChurnConfig(arrival_rate=0.5, bursts={7: 5, 2: 0})
+        payload = config.to_dict()
+        assert payload["bursts"] == {"7": 5}  # zero bursts dropped, keys stringified
+        json.dumps(payload)  # journal fingerprints must be JSON-serialisable
+
+
+class TestEventJournal:
+    FINGERPRINT = {"seed": 1, "campaigns": ["alpha"]}
+
+    def test_begin_append_read_roundtrip(self, tmp_path):
+        journal = EventJournal(tmp_path / "run.jsonl")
+        journal.begin(self.FINGERPRINT)
+        journal.append_ticks([{"type": "tick", "tick": 0}, {"type": "tick", "tick": 1}])
+        header, ticks = journal.read()
+        assert header["schema_version"] == JOURNAL_SCHEMA_VERSION
+        assert header["fingerprint"] == self.FINGERPRINT
+        assert [record["tick"] for record in ticks] == [0, 1]
+        assert journal.check_fingerprint(self.FINGERPRINT) == ticks
+
+    def test_encode_record_is_key_order_independent(self):
+        assert encode_record({"b": 1, "a": [2]}) == encode_record({"a": [2], "b": 1})
+
+    def test_torn_final_line_tolerated_and_truncated_before_append(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = EventJournal(path)
+        journal.begin(self.FINGERPRINT)
+        journal.append_ticks([{"type": "tick", "tick": 0}])
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "tick", "ti')  # interrupted append
+        _, ticks = EventJournal(path).read()
+        assert [record["tick"] for record in ticks] == [0]
+        fresh = EventJournal(path)
+        fresh.append_ticks([{"type": "tick", "tick": 1}])
+        _, ticks = fresh.read()
+        assert [record["tick"] for record in ticks] == [0, 1]
+
+    def test_mid_file_corruption_rejected(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = EventJournal(path)
+        journal.begin(self.FINGERPRINT)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("not json\n")
+            handle.write(encode_record({"type": "tick", "tick": 0}))
+        with pytest.raises(JournalCorruptionError):
+            journal.read()
+
+    def test_missing_empty_and_headerless_journals_rejected(self, tmp_path):
+        with pytest.raises(JournalCorruptionError):
+            EventJournal(tmp_path / "absent.jsonl").read()
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(JournalCorruptionError):
+            EventJournal(empty).read()
+        headerless = tmp_path / "headerless.jsonl"
+        headerless.write_text(encode_record({"type": "tick", "tick": 0}))
+        with pytest.raises(JournalCorruptionError):
+            EventJournal(headerless).read()
+
+    def test_foreign_schema_version_rejected(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text(
+            encode_record(
+                {"type": "header", "schema_version": JOURNAL_SCHEMA_VERSION + 1, "fingerprint": {}}
+            )
+        )
+        with pytest.raises(JournalCorruptionError):
+            EventJournal(path).read()
+
+    def test_fingerprint_mismatch_refused(self, tmp_path):
+        journal = EventJournal(tmp_path / "run.jsonl")
+        journal.begin(self.FINGERPRINT)
+        with pytest.raises(JournalFingerprintError):
+            journal.check_fingerprint({"seed": 2, "campaigns": ["alpha"]})
+
+
+class TestLifecycle:
+    def test_spec_rejects_scenario_separator_in_name(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(name="a:b", dataset="S-1")
+
+    def test_phase_progression_order(self):
+        assert [phase.value for phase in CampaignPhase] == [
+            "selecting",
+            "serving",
+            "reselecting",
+            "done",
+        ]
+
+
+class TestOrchestrator:
+    def test_journal_bytes_invariant_under_tick_batch_size(self, tmp_path):
+        digests = set()
+        for tick_batch in (1, 7, 64):
+            path = tmp_path / f"batch{tick_batch}.jsonl"
+            make_orchestrator(journal_path=path).run(40, tick_batch=tick_batch)
+            digests.add(hashlib.sha256(path.read_bytes()).hexdigest())
+        assert len(digests) == 1
+
+    def test_resume_from_any_prefix_replays_to_identical_bytes(self, tmp_path):
+        full = tmp_path / "full.jsonl"
+        make_orchestrator(journal_path=full).run(40, tick_batch=5)
+        reference = full.read_bytes()
+        lines = reference.decode("utf-8").splitlines(keepends=True)
+        assert len(lines) == 41  # header + one record per tick
+        for keep in (1, 5, 17, len(lines)):
+            partial = tmp_path / f"keep{keep}.jsonl"
+            partial.write_text("".join(lines[:keep]), encoding="utf-8")
+            make_orchestrator(journal_path=partial).run(40, tick_batch=5, resume=True)
+            assert partial.read_bytes() == reference
+
+    def test_resume_after_torn_tail_replays_to_identical_bytes(self, tmp_path):
+        full = tmp_path / "full.jsonl"
+        make_orchestrator(journal_path=full).run(40, tick_batch=5)
+        reference = full.read_bytes()
+        lines = reference.decode("utf-8").splitlines(keepends=True)
+        crashed = tmp_path / "crashed.jsonl"
+        crashed.write_text("".join(lines[:10]) + lines[10][:-25], encoding="utf-8")
+        make_orchestrator(journal_path=crashed).run(40, tick_batch=5, resume=True)
+        assert crashed.read_bytes() == reference
+
+    def test_resume_refuses_a_foreign_fingerprint(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        make_orchestrator(journal_path=path, seed=7).run(5, tick_batch=1)
+        with pytest.raises(JournalFingerprintError):
+            make_orchestrator(journal_path=path, seed=99).run(5, resume=True)
+
+    def test_resume_requires_a_journal(self):
+        with pytest.raises(ValueError):
+            make_orchestrator().run(5, resume=True)
+
+    def test_same_seed_runs_are_identical(self):
+        first = make_orchestrator().run(40).to_dict()
+        second = make_orchestrator().run(40).to_dict()
+        first.pop("elapsed_s")
+        second.pop("elapsed_s")
+        assert first == second
+
+    def test_churn_is_exercised_and_arrivals_are_shared_objects(self):
+        orchestrator = make_orchestrator()
+        report = orchestrator.run(40)
+        market = report.marketplace
+        assert market["arrivals_admitted"] > 0
+        assert market["departures"] > 0
+        # An admitted arrival joins every serving campaign's pool as the SAME
+        # ServingWorker instance, so max_concurrent genuinely spans campaigns.
+        pools = [handle.pool for handle in orchestrator.handles]
+        shared = [
+            worker_id
+            for worker_id in pools[0].worker_ids
+            if worker_id.startswith("mkt-") and worker_id in pools[1]
+        ]
+        assert shared
+        assert pools[0][shared[0]] is pools[1][shared[0]]
+
+    def test_departures_invalidate_in_flight_votes(self):
+        report = make_orchestrator().run(40)
+        assert sum(campaign["invalidated_votes"] for campaign in report.campaigns) > 0
+
+    def test_campaigns_run_to_completion(self):
+        report = make_orchestrator().run(60)
+        for campaign in report.campaigns:
+            assert campaign["phase"] == "done"
+            assert campaign["n_labels"] == 30
+            assert 0.0 <= campaign["label_accuracy"] <= 1.0
+
+    def test_drift_triggers_checkpointed_reselection(self):
+        # 40% drifting workers + an aggressive detector: the serving phase
+        # must hit the re-selection signal, checkpoint through
+        # Campaign.state_dict(), re-qualify, and still finish the stream.
+        spec = CampaignSpec(name="drifty", dataset="S-1:drift40", selector="us", k=6, seed=3)
+        config = MarketplaceConfig(
+            total_tasks=120,
+            tasks_per_tick=4,
+            drift=DriftConfig(
+                alpha=0.2, min_observations=5, demote_below=0.5, drop_tolerance=0.3, cooldown=5
+            ),
+            reselect_fraction=0.3,
+            max_reselections=2,
+            requalify_ticks=2,
+        )
+        orchestrator = MarketplaceOrchestrator(
+            [spec],
+            config=config,
+            churn=ChurnConfig(arrival_rate=1.0, departure_rate=0.01),
+            seed=11,
+        )
+        report = orchestrator.run(120, tick_batch=8)
+        campaign = report.campaigns[0]
+        assert campaign["reselections"] >= 1
+        assert campaign["phase"] == "done"
+        assert campaign["n_labels"] == 120
+
+    def test_duplicate_campaign_names_rejected(self):
+        spec = CampaignSpec(name="same", dataset="S-1", selector="us", k=5, seed=1)
+        with pytest.raises(ValueError):
+            MarketplaceOrchestrator([spec, spec])
+        with pytest.raises(ValueError):
+            MarketplaceOrchestrator([])

@@ -455,3 +455,154 @@ class TestServingDeterminism:
         campaign = Campaign(dataset="S-1", selector="us", k=5, seed=3)
         with pytest.raises(ValueError):
             campaign.serving_service(ServingConfig(), router="round_robin")
+
+
+def qualified(worker_id, estimate=0.9):
+    """A ServingWorker qualified on DOMAIN (for mutation tests)."""
+    return ServingWorker(
+        worker_id=worker_id,
+        qualifications={
+            DOMAIN: DomainQualification(worker_id, DOMAIN, estimate, 20, QualificationTier.QUALIFIED)
+        },
+    )
+
+
+class TestPoolMutation:
+    def test_add_and_remove_worker(self):
+        pool = make_pool([0.9, 0.8])
+        newcomer = qualified("w9")
+        pool.add_worker(newcomer)
+        assert "w9" in pool
+        with pytest.raises(ValueError):
+            pool.add_worker(ServingWorker(worker_id="w9"))
+        assert pool.remove_worker("w9") is newcomer
+        with pytest.raises(KeyError):
+            pool.remove_worker("w9")
+
+    def test_membership_listeners_notified(self):
+        events = []
+
+        class Listener:
+            def on_worker_added(self, worker_id):
+                events.append(("added", worker_id))
+
+            def on_worker_removed(self, worker_id):
+                events.append(("removed", worker_id))
+
+        pool = make_pool([0.9, 0.8])
+        pool.add_listener(Listener())
+        pool.add_worker(qualified("w9"))
+        pool.remove_worker("w0")
+        assert events == [("added", "w9"), ("removed", "w0")]
+
+    def test_release_assignment_refunds_capacity_and_load(self):
+        pool = make_pool([0.9], max_concurrent=1)
+        pool.begin_assignment("w0")
+        pool.release_assignment("w0")
+        assert pool["w0"].active == 0
+        assert pool["w0"].assigned_total == 0
+        pool.begin_assignment("w0")  # capacity genuinely released
+        pool.complete_assignment("w0")
+        with pytest.raises(RuntimeError):  # nothing in flight any more
+            pool.release_assignment("w0")
+
+    def test_least_loaded_never_routes_to_removed_worker(self):
+        # Regression: the least-loaded heap used to keep entries for removed
+        # workers and hand them straight back out of route().
+        pool = make_pool([0.9, 0.8, 0.7])
+        router = make_router("least_loaded", pool)
+        router.route(DOMAIN, 3)  # heap now holds all three workers
+        pool.remove_worker("w1")
+        for _ in range(4):
+            assert "w1" not in router.route(DOMAIN, 2)
+
+    def test_least_loaded_routes_to_added_worker(self):
+        pool = make_pool([0.9, 0.8])
+        router = make_router("least_loaded", pool)
+        pool.add_worker(qualified("w9"))
+        assert "w9" in router.route(DOMAIN, 3)
+
+    def test_route_excluding_releases_surplus_assignments(self):
+        pool = make_pool([0.9, 0.8, 0.7])
+        router = make_router("round_robin", pool)
+        picks = router.route_excluding(DOMAIN, 1, exclude={"w0", "w1"})
+        assert picks == ["w2"]
+        assert pool["w2"].active == 1
+        assert pool["w0"].active == 0 and pool["w1"].active == 0
+
+    def test_route_excluding_with_nobody_left_returns_empty(self):
+        pool = make_pool([0.9])
+        router = make_router("round_robin", pool)
+        assert router.route_excluding(DOMAIN, 1, exclude={"w0"}) == []
+        assert pool["w0"].active == 0
+
+
+class TestVoteInvalidation:
+    def test_invalidate_worker_reassigns_pending_votes(self):
+        pool = make_pool([0.9, 0.8, 0.7, 0.6])
+        service = AnnotationService(pool, ServingConfig(router="round_robin", votes_per_task=2))
+        assignment = service.submit(make_task(0))
+        victim = assignment.worker_ids[0]
+        survivor = assignment.worker_ids[1]
+        records = service.invalidate_worker(victim)
+        assert len(records) == 1
+        record = records[0]
+        assert record["task_id"] == assignment.task_id
+        assert record["worker_id"] == victim
+        assert len(record["replacements"]) == 1
+        replacement = record["replacements"][0]
+        assert replacement not in assignment.worker_ids
+        assert not service.is_awaiting(assignment.task_id, victim)
+        assert service.is_awaiting(assignment.task_id, survivor)
+        assert service.is_awaiting(assignment.task_id, replacement)
+        assert pool[victim].active == 0
+        # The task still finalizes with the reassigned vote.
+        service.record_answer(assignment.task_id, survivor, True)
+        service.record_answer(assignment.task_id, replacement, True)
+        assert service.report().labels == {assignment.task_id: True}
+
+    def test_invalidation_does_not_leak_budget(self):
+        pool = make_pool([0.9, 0.8, 0.7])
+        config = ServingConfig(router="round_robin", votes_per_task=2, max_assignments=4)
+        service = AnnotationService(pool, config)
+        assignment = service.submit(make_task(0))
+        spent = service.spent_assignments
+        service.invalidate_worker(assignment.worker_ids[0])
+        # Released vote + one replacement vote: net spend is unchanged.
+        assert service.spent_assignments == spent
+
+    def test_invalidation_shrinks_task_when_no_replacement_exists(self):
+        pool = make_pool([0.9, 0.8])
+        service = AnnotationService(pool, ServingConfig(router="round_robin", votes_per_task=2))
+        assignment = service.submit(make_task(0))
+        # Both workers hold a vote already, so the exclusion set (old expected
+        # set plus the victim) covers the whole pool: no replacement exists.
+        victim, survivor = assignment.worker_ids
+        records = service.invalidate_worker(victim)
+        assert records[0]["replacements"] == []
+        # The shrunken task finalizes from the one remaining vote.
+        service.record_answer(assignment.task_id, survivor, False)
+        assert service.report().labels == {assignment.task_id: False}
+
+    def test_abandon_pending_releases_charges_and_budget(self):
+        pool = make_pool([0.9, 0.8, 0.7])
+        config = ServingConfig(router="round_robin", votes_per_task=3, max_assignments=6)
+        service = AnnotationService(pool, config)
+        assignment = service.submit(make_task(0))
+        service.record_answer(assignment.task_id, assignment.worker_ids[0], True)
+        abandoned = service.abandon_pending()
+        assert abandoned == [assignment.task_id]
+        assert service.pending_task_ids == []
+        # The two unanswered votes are refunded; the recorded one stays spent.
+        assert service.spent_assignments == 1
+        assert all(pool[worker_id].active == 0 for worker_id in pool.worker_ids)
+
+
+class TestServingSchemaVersion:
+    def test_report_payloads_carry_schema_version(self):
+        from repro.serving.service import SERVING_SCHEMA_VERSION
+
+        campaign = Campaign(dataset="S-1", selector="us", k=5, seed=3)
+        report = campaign.serve(n_tasks=10, router="round_robin")
+        assert report.trace_dict()["schema_version"] == SERVING_SCHEMA_VERSION
+        assert report.to_dict()["schema_version"] == SERVING_SCHEMA_VERSION
