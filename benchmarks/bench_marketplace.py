@@ -21,6 +21,8 @@ The machine-readable output seeds the repo's perf trajectory
 ``schema_version``.
 """
 
+# repro: allow-file[D002] -- benchmark timing loops read perf_counter by design
+
 from __future__ import annotations
 
 import argparse

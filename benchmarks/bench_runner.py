@@ -22,6 +22,8 @@ matters when reading the numbers: process sharding cannot beat serial on a
 single-core host, so speedups there sit at ~1x regardless of ``n_jobs``.
 """
 
+# repro: allow-file[D002] -- benchmark timing loops read perf_counter by design
+
 from __future__ import annotations
 
 import argparse
@@ -157,7 +159,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         methods=args.methods,
     )
     with open(args.output, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
+        json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"wrote {args.output}")
     return 0

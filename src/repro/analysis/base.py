@@ -1,0 +1,70 @@
+"""The rule interface every analysis check implements.
+
+A rule is a stateless class with identity attributes (``rule_id``,
+``name``, ``severity``, ``description``) and one method,
+:meth:`BaseRule.check`, that walks a parsed module and yields
+:class:`~repro.analysis.findings.Finding` objects.  Rules never read the
+filesystem themselves — the engine hands them a
+:class:`~repro.analysis.context.ModuleContext` (one file's AST plus import
+resolution) and the :class:`~repro.analysis.context.ProjectIndex` (every
+class and function across the analyzed tree, for cross-module contract
+checks).
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.findings import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.analysis.context import ModuleContext, ProjectIndex
+
+
+class BaseRule(abc.ABC):
+    """Interface every analysis rule implements."""
+
+    #: Canonical id: one letter (family) + three digits, e.g. ``"D003"``.
+    rule_id: str = ""
+    #: Human-readable kebab-case alias, e.g. ``"unsorted-json"``.
+    name: str = ""
+    #: Blocking level (see :class:`~repro.analysis.findings.Severity`).
+    severity: Severity = Severity.ERROR
+    #: One-line summary shown by ``repro-crowd lint --list-rules``.
+    description: str = ""
+
+    @abc.abstractmethod
+    def check(self, module: "ModuleContext", project: "ProjectIndex") -> Iterator[Finding]:
+        """Yield one finding per violation in ``module``."""
+
+    def finding(self, module: "ModuleContext", node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored at ``node`` with this rule's identity."""
+        return Finding(
+            rule_id=self.rule_id,
+            rule_name=self.name,
+            severity=self.severity,
+            path=module.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+    def finding_at(self, module: "ModuleContext", line: int, col: int, message: str) -> Finding:
+        """Build a finding at an explicit location (pragma/parse findings)."""
+        return Finding(
+            rule_id=self.rule_id,
+            rule_name=self.name,
+            severity=self.severity,
+            path=module.display_path,
+            line=line,
+            col=col,
+            message=message,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(rule_id={self.rule_id!r}, name={self.name!r})"
+
+
+__all__ = ["BaseRule"]

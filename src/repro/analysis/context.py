@@ -1,0 +1,363 @@
+"""Parsed-module and project-wide context handed to every rule.
+
+Two layers:
+
+:class:`ModuleContext`
+    One file: its AST, source lines, derived dotted module name, and an
+    import table that resolves ``Name``/``Attribute`` expressions to dotted
+    qualified names (``np.random.seed`` -> ``numpy.random.seed``,
+    ``b.StaticWorker`` -> ``repro.workers.behavior.StaticWorker``).  The
+    table also covers module-level definitions and simple local aliases
+    (``registry = GLOBAL_BEHAVIOR_REGISTRY``), which is what lets contract
+    rules recognise registration call sites in any style the repo uses.
+
+:class:`ProjectIndex`
+    Every class and top-level function across the analyzed tree, with
+    method sets and resolved base names, so contract rules can check a
+    class registered in one module against its definition in another —
+    including inherited methods, walked through the in-project MRO.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+#: Module-name suffix identifying the one module allowed to own global RNG
+#: coercion (``as_generator(None)`` draws fresh entropy by design there).
+RNG_MODULE_SUFFIX = "repro.stats.rng"
+
+#: Filename fragments marking modules under the fsynced-write discipline.
+DURABLE_MODULE_MARKERS = ("journal", "store")
+
+#: Names matching this pattern mark a module as schema-versioned: its
+#: payload writers must stamp a ``schema_version`` key.
+SCHEMA_VERSION_PATTERN = re.compile(r"SCHEMA_VERSION")
+
+#: External bases that are known to contribute no payload/contract methods;
+#: they resolve to "empty" instead of poisoning the MRO walk as unknown.
+KNOWN_EMPTY_BASES = frozenset(
+    {"abc.ABC", "object", "typing.Protocol", "typing.Generic", "enum.Enum", "enum.IntEnum"}
+)
+
+
+def _base_expr(node: ast.expr) -> ast.expr:
+    """Strip subscripts so ``Generic[T]`` resolves like ``Generic``."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    return node
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: where it lives and what it provides."""
+
+    qualified_name: str
+    module_name: str
+    #: Names of methods defined directly on the class body.
+    methods: Set[str]
+    #: Resolved dotted base names; ``None`` entries are unresolvable bases.
+    bases: List[Optional[str]]
+    #: Parameter names of ``__init__`` (excluding ``self``), if defined.
+    init_params: Tuple[str, ...] = ()
+    #: Whether ``__init__`` takes ``**kwargs``.
+    init_has_kwargs: bool = False
+
+
+@dataclass
+class FunctionInfo:
+    """One top-level function definition: its parameter surface."""
+
+    qualified_name: str
+    module_name: str
+    params: Tuple[str, ...]
+    has_kwargs: bool
+
+
+def _callable_params(node: ast.AST) -> Tuple[Tuple[str, ...], bool]:
+    """Parameter names and ``**kwargs`` presence of a function definition."""
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return (), False
+    args = node.args
+    names = [arg.arg for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]]
+    return tuple(names), args.kwarg is not None
+
+
+class ModuleContext:
+    """One parsed source file plus name-resolution helpers."""
+
+    def __init__(self, path: Path, source: str, tree: ast.Module, *, root: Optional[Path] = None) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        self.display_path = self._display_path(path, root)
+        self.module_name = self._module_name(self.display_path)
+        self._names: Dict[str, str] = {}
+        self._build_name_table()
+
+    # ------------------------------------------------------------------ #
+    # Identity
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _display_path(path: Path, root: Optional[Path]) -> str:
+        if root is not None:
+            try:
+                return path.resolve().relative_to(root.resolve()).as_posix()
+            except ValueError:
+                pass
+        return path.as_posix()
+
+    @staticmethod
+    def _module_name(display_path: str) -> str:
+        parts = list(Path(display_path).with_suffix("").parts)
+        # src-layout: the package root lives under ``src/``.
+        if "src" in parts:
+            parts = parts[parts.index("src") + 1 :]
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts)
+
+    @property
+    def package_name(self) -> str:
+        """The package containing this module (for relative imports)."""
+        if self.display_path.endswith("__init__.py"):
+            return self.module_name
+        return self.module_name.rpartition(".")[0]
+
+    @property
+    def is_rng_module(self) -> bool:
+        """Whether this is the repo's designated RNG-plumbing module."""
+        return self.module_name.endswith(RNG_MODULE_SUFFIX)
+
+    @property
+    def is_durable_module(self) -> bool:
+        """Whether this module is under the fsynced journal/store discipline."""
+        stem = self.path.stem.lower()
+        return any(marker in stem for marker in DURABLE_MODULE_MARKERS)
+
+    @property
+    def is_schema_versioned(self) -> bool:
+        """Whether the module defines or imports a ``*SCHEMA_VERSION*`` name."""
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Name) and SCHEMA_VERSION_PATTERN.search(node.id):
+                return True
+            if isinstance(node, ast.alias) and SCHEMA_VERSION_PATTERN.search(node.name):
+                return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Name resolution
+    # ------------------------------------------------------------------ #
+    def _build_name_table(self) -> None:
+        names = self._names
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        names[alias.asname] = alias.name
+                    else:
+                        # ``import a.b`` binds ``a``; attribute chains walk
+                        # the rest (``a.b.c`` resolves as "a" + ".b.c").
+                        top = alias.name.split(".", 1)[0]
+                        names.setdefault(top, top)
+            elif isinstance(node, ast.ImportFrom):
+                base = self._resolve_import_from(node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    names[alias.asname or alias.name] = f"{base}.{alias.name}"
+        # Module-level definitions join the namespace so intra-module
+        # references (``GLOBAL_BEHAVIOR_REGISTRY``, a class registered in
+        # its own file) resolve to qualified names.
+        prefix = f"{self.module_name}." if self.module_name else ""
+        for node in self.tree.body:
+            if isinstance(node, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+                names.setdefault(node.name, f"{prefix}{node.name}")
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.setdefault(target.id, f"{prefix}{target.id}")
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                names.setdefault(node.target.id, f"{prefix}{node.target.id}")
+        # Simple aliasing of already-resolvable values, anywhere in the
+        # file (``registry = GLOBAL_BEHAVIOR_REGISTRY`` inside a loader
+        # function).  Resolution may overwrite the positional default
+        # recorded above, which is exactly what an alias means.
+        for node in ast.walk(self.tree):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, (ast.Name, ast.Attribute))
+            ):
+                resolved = self.resolve(node.value)
+                if resolved is not None and resolved != f"{prefix}{node.targets[0].id}":
+                    names[node.targets[0].id] = resolved
+
+    def _resolve_import_from(self, node: ast.ImportFrom) -> Optional[str]:
+        if node.level == 0:
+            return node.module
+        package_parts = self.package_name.split(".") if self.package_name else []
+        cut = node.level - 1
+        if cut > len(package_parts):
+            return None
+        base_parts = package_parts[: len(package_parts) - cut]
+        if node.module:
+            base_parts.append(node.module)
+        return ".".join(base_parts) if base_parts else None
+
+    def resolve(self, node: ast.expr) -> Optional[str]:
+        """Dotted qualified name of a ``Name``/``Attribute`` chain, if known."""
+        node = _base_expr(node)
+        if isinstance(node, ast.Name):
+            return self._names.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.resolve(node.value)
+            if base is None:
+                return None
+            return f"{base}.{node.attr}"
+        return None
+
+    def resolve_call(self, node: ast.Call) -> Optional[str]:
+        """Dotted qualified name of a call's target, if known."""
+        return self.resolve(node.func)
+
+    def callable_name(self, node: ast.Call) -> Optional[str]:
+        """Like :meth:`resolve_call`, falling back to the bare name.
+
+        Builtins (``open``, ``set``, ``sorted``) are never imported, so an
+        unresolvable plain ``Name`` call resolves to its own identifier;
+        dotted chains still require a resolvable base.
+        """
+        resolved = self.resolve(node.func)
+        if resolved is not None:
+            return resolved
+        if isinstance(node.func, ast.Name):
+            return node.func.id
+        return None
+
+
+class ProjectIndex:
+    """Classes and top-level functions across every analyzed module."""
+
+    def __init__(self) -> None:
+        self.classes: Dict[str, ClassInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+
+    @classmethod
+    def build(cls, modules: Sequence[ModuleContext]) -> "ProjectIndex":
+        index = cls()
+        for module in modules:
+            index._index_module(module)
+        return index
+
+    def _index_module(self, module: ModuleContext) -> None:
+        prefix = f"{module.module_name}." if module.module_name else ""
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef):
+                qualified = f"{prefix}{node.name}"
+                methods = {
+                    item.name
+                    for item in node.body
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                }
+                init = next(
+                    (
+                        item
+                        for item in node.body
+                        if isinstance(item, ast.FunctionDef) and item.name == "__init__"
+                    ),
+                    None,
+                )
+                init_params, init_kwargs = _callable_params(init) if init is not None else ((), False)
+                self.classes[qualified] = ClassInfo(
+                    qualified_name=qualified,
+                    module_name=module.module_name,
+                    methods=methods,
+                    bases=[module.resolve(base) for base in node.bases],
+                    init_params=tuple(p for p in init_params if p != "self"),
+                    init_has_kwargs=init_kwargs,
+                )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                params, has_kwargs = _callable_params(node)
+                qualified = f"{prefix}{node.name}"
+                self.functions[qualified] = FunctionInfo(
+                    qualified_name=qualified,
+                    module_name=module.module_name,
+                    params=params,
+                    has_kwargs=has_kwargs,
+                )
+
+    # ------------------------------------------------------------------ #
+    # Contract queries
+    # ------------------------------------------------------------------ #
+    def has_method(self, class_name: str, method: str) -> Optional[bool]:
+        """Whether ``class_name`` provides ``method`` through its MRO.
+
+        Returns ``True``/``False`` when the in-project hierarchy settles the
+        question and ``None`` when an unresolvable external base leaves it
+        open — contract rules treat ``None`` leniently to avoid false
+        positives on classes inheriting from outside the analyzed tree.
+        """
+        seen: Set[str] = set()
+        unknown = False
+        stack = [class_name]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self.classes.get(current)
+            if info is None:
+                if current not in KNOWN_EMPTY_BASES:
+                    unknown = True
+                continue
+            if method in info.methods:
+                return True
+            for base in info.bases:
+                if base is None:
+                    unknown = True
+                else:
+                    stack.append(base)
+        return None if unknown else False
+
+    def init_accepts(self, class_name: str, param: str) -> Optional[bool]:
+        """Whether the class's ``__init__`` accepts ``param`` (MRO-aware)."""
+        seen: Set[str] = set()
+        unknown = False
+        stack = [class_name]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self.classes.get(current)
+            if info is None:
+                if current not in KNOWN_EMPTY_BASES:
+                    unknown = True
+                continue
+            if "__init__" in info.methods:
+                return param in info.init_params or info.init_has_kwargs
+            for base in info.bases:
+                if base is None:
+                    unknown = True
+                else:
+                    stack.append(base)
+        return None if unknown else False
+
+
+__all__ = [
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleContext",
+    "ProjectIndex",
+    "RNG_MODULE_SUFFIX",
+    "DURABLE_MODULE_MARKERS",
+    "KNOWN_EMPTY_BASES",
+]

@@ -1,0 +1,173 @@
+"""The analysis engine: discover files, run rules, apply suppressions.
+
+Two passes, mirroring how the contract rules need to see the world:
+
+1. **Parse everything.** Every ``*.py`` file under the requested paths is
+   parsed into a :class:`~repro.analysis.context.ModuleContext`; the
+   project-wide :class:`~repro.analysis.context.ProjectIndex` is built from
+   all of them, so a class registered in one module is checked against its
+   definition in another.  Files that fail to parse become ``E001``
+   findings instead of crashing the run.
+2. **Check and suppress.** Every selected rule walks every module;
+   ``# repro: allow[...]`` pragmas then mark matching findings as
+   suppressed (they stay in the report, flagged, so JSON artifacts show
+   *what* was waived and *why*) and malformed pragmas become ``P001`` /
+   ``P002`` findings of their own.
+
+The result is deterministic: files are visited in sorted order and
+findings sort by ``(path, line, col, rule id)``, so two runs over the same
+tree produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.analysis.context import ModuleContext, ProjectIndex
+from repro.analysis.findings import Finding, FindingCounts, Severity
+from repro.analysis.pragmas import PragmaReasonRule, PragmaUnknownRule, parse_suppressions
+from repro.analysis.registry import all_rules, make_rule
+from repro.analysis.rules_safety import SyntaxErrorRule
+
+#: Directory names never descended into during discovery.
+SKIPPED_DIRS = ("__pycache__", ".git", ".venv", "node_modules")
+
+#: The repo's lint surface: what ``repro-crowd lint`` checks by default.
+DEFAULT_LINT_PATHS = ("src", "benchmarks", "examples")
+
+PathLike = Union[str, Path]
+
+
+def discover_files(paths: Sequence[PathLike]) -> List[Path]:
+    """Every ``*.py`` file under ``paths`` (files kept, dirs walked), sorted."""
+    files = []
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not any(part in SKIPPED_DIRS or part.startswith(".") for part in candidate.parts):
+                    files.append(candidate)
+        elif path.suffix == ".py":
+            files.append(path)
+        elif not path.exists():
+            raise FileNotFoundError(f"lint path {path} does not exist")
+    return sorted(set(files))
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one analysis run (JSON-serialisable via the reporters)."""
+
+    findings: List[Finding]
+    n_files: int
+    rule_ids: List[str]
+    paths: List[str] = field(default_factory=list)
+
+    @property
+    def active(self) -> List[Finding]:
+        """Findings not waived by a pragma — what the gate counts."""
+        return [finding for finding in self.findings if not finding.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        """Findings a pragma waived (kept for report transparency)."""
+        return [finding for finding in self.findings if finding.suppressed]
+
+    def counts(self) -> FindingCounts:
+        counts = FindingCounts()
+        for finding in self.findings:
+            counts.add(finding)
+        return counts
+
+    def exit_code(self, strict: bool = False) -> int:
+        """Process exit status: errors always fail; warnings fail under strict."""
+        if strict:
+            return 1 if self.active else 0
+        return 1 if any(f.severity is Severity.ERROR for f in self.active) else 0
+
+
+def analyze(
+    paths: Optional[Sequence[PathLike]] = None,
+    *,
+    rules: Optional[Iterable[str]] = None,
+    root: Optional[PathLike] = None,
+) -> AnalysisReport:
+    """Run the rule pack over ``paths`` and return the finding report.
+
+    Parameters
+    ----------
+    paths:
+        Files or directories to analyze (default: the repo's lint surface,
+        ``src``/``benchmarks``/``examples``, resolved against ``root``).
+    rules:
+        Rule ids or aliases to run (default: every registered rule).
+        Pragma/parse findings (``P001``, ``P002``, ``E001``) are emitted
+        only when selected, so a filtered run reports exactly what it was
+        asked about.
+    root:
+        Paths in findings are reported relative to this directory
+        (default: the current working directory).
+    """
+    root_path = Path(root) if root is not None else Path.cwd()
+    if paths is None:
+        paths = [root_path / entry for entry in DEFAULT_LINT_PATHS if (root_path / entry).is_dir()]
+    if rules is None:
+        selected = all_rules()
+    else:
+        by_id = {}
+        for name in rules:
+            rule = make_rule(name)
+            by_id[rule.rule_id] = rule
+        selected = [by_id[rule_id] for rule_id in sorted(by_id)]
+    selected_ids = {rule.rule_id for rule in selected}
+
+    findings: List[Finding] = []
+    modules: List[ModuleContext] = []
+    syntax_rule = SyntaxErrorRule()
+    files = discover_files(paths)
+    for file_path in files:
+        source = file_path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(file_path))
+        except SyntaxError as error:
+            if syntax_rule.rule_id in selected_ids:
+                display = ModuleContext._display_path(file_path, root_path)
+                findings.append(syntax_rule.from_error(display, error))
+            continue
+        modules.append(ModuleContext(file_path, source, tree, root=root_path))
+
+    project = ProjectIndex.build(modules)
+    reason_rule = PragmaReasonRule()
+    unknown_rule = PragmaUnknownRule()
+    for module in modules:
+        raw: List[Finding] = []
+        for rule in selected:
+            raw.extend(rule.check(module, project))
+        suppressions = parse_suppressions(module)
+        for pragma in suppressions.pragmas:
+            if pragma.reason is None and reason_rule.rule_id in selected_ids:
+                raw.append(reason_rule.from_pragma(module, pragma))
+            if unknown_rule.rule_id in selected_ids:
+                raw.extend(unknown_rule.from_pragma(module, pragma))
+        for finding in raw:
+            pragma = suppressions.lookup(finding.rule_id, finding.line)
+            if pragma is not None:
+                finding = dataclasses.replace(
+                    finding, suppressed=True, suppression_reason=pragma.reason
+                )
+            findings.append(finding)
+
+    findings.sort(key=lambda finding: finding.sort_key)
+    return AnalysisReport(
+        findings=findings,
+        n_files=len(files),
+        rule_ids=sorted(selected_ids),
+        paths=[Path(p).as_posix() for p in paths],
+    )
+
+
+__all__ = ["AnalysisReport", "analyze", "discover_files", "DEFAULT_LINT_PATHS", "SKIPPED_DIRS"]

@@ -1,0 +1,98 @@
+"""The finding model: what the analyzer reports and how it is ordered.
+
+A :class:`Finding` is one rule violation anchored to a ``file:line:col``
+span.  Findings are value objects — reporters, the CLI and the test suite
+all consume the same structure — and they sort deterministically (path,
+line, column, rule id) so two runs over the same tree produce byte-identical
+reports.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+class Severity(enum.IntEnum):
+    """How blocking a finding is.
+
+    ``ERROR`` findings fail the default lint gate; ``WARNING`` findings only
+    fail under ``--strict``.  The integer ordering makes severity comparable
+    (``Severity.ERROR > Severity.WARNING``).
+    """
+
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule_id: str
+    rule_name: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+    #: Set when an ``# repro: allow[...]`` pragma silenced this finding.
+    suppressed: bool = False
+    #: The pragma's mandatory justification (only when ``suppressed``).
+    suppression_reason: Optional[str] = None
+
+    @property
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        """Deterministic report order: path, then line, column, rule id."""
+        return (self.path, self.line, self.col, self.rule_id)
+
+    @property
+    def location(self) -> str:
+        """The clickable ``path:line:col`` prefix used by the text reporter."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable representation (stable key set)."""
+        return {
+            "rule_id": self.rule_id,
+            "rule_name": self.rule_name,
+            "severity": str(self.severity),
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "suppression_reason": self.suppression_reason,
+        }
+
+
+@dataclass
+class FindingCounts:
+    """Severity tally used by report summaries."""
+
+    errors: int = 0
+    warnings: int = 0
+    suppressed: int = 0
+    by_rule: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, finding: Finding) -> None:
+        if finding.suppressed:
+            self.suppressed += 1
+            return
+        if finding.severity is Severity.ERROR:
+            self.errors += 1
+        else:
+            self.warnings += 1
+        self.by_rule[finding.rule_id] = self.by_rule.get(finding.rule_id, 0) + 1
+
+    @property
+    def total(self) -> int:
+        """Active (non-suppressed) findings."""
+        return self.errors + self.warnings
+
+
+__all__ = ["Severity", "Finding", "FindingCounts"]

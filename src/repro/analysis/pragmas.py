@@ -1,0 +1,181 @@
+"""Inline suppression pragmas: ``# repro: allow[RULE] -- reason``.
+
+A violation the repo has decided to live with is silenced *at the site*,
+with a mandatory justification:
+
+``# repro: allow[D002] -- bench timing loop; never feeds seeds``
+    On the flagged line (or the line directly above it): suppresses the
+    named rules for that line only.
+
+``# repro: allow-file[D002] -- every timing call here is the measurement``
+    Anywhere in the file (conventionally the top): suppresses the named
+    rules for the whole file.
+
+Multiple rules share one pragma: ``allow[D001,D003]``.  Rule keys are
+case-insensitive and may be ids or registered aliases.  A pragma without a
+reason does **not** suppress anything and is itself reported (``P001``);
+an unknown rule key is reported too (``P002``) so typos cannot silently
+disable the gate.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.base import BaseRule
+from repro.analysis.context import ModuleContext, ProjectIndex
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import GLOBAL_RULE_REGISTRY, register_rule
+
+#: The pragma grammar inside a comment.  The reason separator is ``--``.
+PRAGMA_PATTERN = re.compile(
+    r"repro:\s*(?P<kind>allow-file|allow)\[(?P<rules>[^\]]*)\]\s*(?:--\s*(?P<reason>\S.*?))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed suppression comment."""
+
+    kind: str  # "allow" | "allow-file"
+    rule_ids: Tuple[str, ...]  # canonical ids of the recognised keys
+    unknown_keys: Tuple[str, ...]  # keys that resolved to no registered rule
+    reason: Optional[str]
+    line: int  # where the comment sits
+    anchor: int  # the source line the pragma governs (== line, or line + 1)
+    col: int
+
+    @property
+    def effective(self) -> bool:
+        """Whether this pragma suppresses anything (reason is mandatory)."""
+        return bool(self.reason) and bool(self.rule_ids)
+
+
+@dataclass
+class SuppressionSet:
+    """Every pragma of one module, indexed for fast lookup."""
+
+    pragmas: List[Pragma] = field(default_factory=list)
+    #: rule id -> file-level pragma governing the whole module.
+    file_level: Dict[str, Pragma] = field(default_factory=dict)
+    #: (line, rule id) -> inline pragma governing that line.
+    by_line: Dict[Tuple[int, str], Pragma] = field(default_factory=dict)
+
+    def lookup(self, rule_id: str, line: int) -> Optional[Pragma]:
+        """The pragma suppressing ``rule_id`` at ``line``, if any."""
+        inline = self.by_line.get((line, rule_id))
+        if inline is not None:
+            return inline
+        return self.file_level.get(rule_id)
+
+
+def _iter_comments(source: str) -> Iterator[Tuple[int, int, str, str]]:
+    """Yield ``(line, col, text, line_source)`` for every comment token."""
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.start[1], token.string, token.line
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover - ast parsed already
+        return
+
+
+def parse_suppressions(module: ModuleContext) -> SuppressionSet:
+    """Parse every pragma in ``module`` and index the effective ones."""
+    suppressions = SuppressionSet()
+    for line, col, text, line_source in _iter_comments(module.source):
+        match = PRAGMA_PATTERN.search(text)
+        if match is None:
+            continue
+        rule_ids: List[str] = []
+        unknown: List[str] = []
+        for key in match.group("rules").split(","):
+            key = key.strip()
+            if not key:
+                continue
+            try:
+                rule_ids.append(GLOBAL_RULE_REGISTRY.resolve(key))
+            except KeyError:
+                unknown.append(key)
+        comment_only = line_source[:col].strip() == ""
+        pragma = Pragma(
+            kind=match.group("kind"),
+            rule_ids=tuple(rule_ids),
+            unknown_keys=tuple(unknown),
+            reason=match.group("reason"),
+            line=line,
+            # A comment on its own line governs the statement below it; a
+            # trailing comment governs its own line.
+            anchor=line + 1 if comment_only else line,
+            col=col + 1,
+        )
+        suppressions.pragmas.append(pragma)
+        if not pragma.effective:
+            continue
+        for rule_id in pragma.rule_ids:
+            if pragma.kind == "allow-file":
+                suppressions.file_level.setdefault(rule_id, pragma)
+            else:
+                suppressions.by_line.setdefault((pragma.anchor, rule_id), pragma)
+    return suppressions
+
+
+@register_rule
+class PragmaReasonRule(BaseRule):
+    """A suppression pragma must carry a ``-- reason`` justification."""
+
+    rule_id = "P001"
+    name = "pragma-reason"
+    severity = Severity.ERROR
+    description = "suppression pragma without a '-- reason' (it suppresses nothing)"
+
+    def check(self, module: ModuleContext, project: ProjectIndex) -> Iterator[Finding]:
+        # Emitted by the engine from the parsed pragma set, not by walking
+        # the AST; the class exists so the id is registered and documented.
+        return iter(())
+
+    def from_pragma(self, module: ModuleContext, pragma: Pragma) -> Finding:
+        return self.finding_at(
+            module,
+            pragma.line,
+            pragma.col,
+            f"pragma '{pragma.kind}[{', '.join(pragma.rule_ids + pragma.unknown_keys)}]' has no "
+            f"'-- reason'; a suppression must say why the violation is intentional",
+        )
+
+
+@register_rule
+class PragmaUnknownRule(BaseRule):
+    """Every rule key named in a pragma must exist."""
+
+    rule_id = "P002"
+    name = "pragma-unknown-rule"
+    severity = Severity.ERROR
+    description = "suppression pragma naming an unregistered rule (typo-proofing the gate)"
+
+    def check(self, module: ModuleContext, project: ProjectIndex) -> Iterator[Finding]:
+        return iter(())
+
+    def from_pragma(self, module: ModuleContext, pragma: Pragma) -> Iterator[Finding]:
+        for key in pragma.unknown_keys:
+            yield self.finding_at(
+                module,
+                pragma.line,
+                pragma.col,
+                f"pragma names unknown rule {key!r}; registered rules: "
+                f"{', '.join(GLOBAL_RULE_REGISTRY.names())}",
+            )
+
+
+__all__ = [
+    "PRAGMA_PATTERN",
+    "Pragma",
+    "SuppressionSet",
+    "parse_suppressions",
+    "PragmaReasonRule",
+    "PragmaUnknownRule",
+]

@@ -1,0 +1,82 @@
+"""Reporters: render an analysis run as text or as a JSON artifact.
+
+The text form is for humans at a terminal; the JSON form is the CI
+artifact (schema-versioned, key-sorted, byte-stable for a given tree — the
+reporter obeys the same D-rules it reports on).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.analysis.engine import AnalysisReport
+from repro.analysis.findings import Severity
+
+#: Bump when the JSON report layout changes shape (same discipline as
+#: ``RECORD_SCHEMA_VERSION`` in :mod:`repro.experiments.store`).
+LINT_SCHEMA_VERSION = 1
+
+
+def format_text(report: AnalysisReport, *, show_suppressed: bool = False) -> str:
+    """Human-readable findings, one ``path:line:col`` line each, plus a tally."""
+    lines: List[str] = []
+    for finding in report.active:
+        lines.append(
+            f"{finding.location}: {finding.rule_id} [{finding.severity}] "
+            f"{finding.message} ({finding.rule_name})"
+        )
+    if show_suppressed:
+        for finding in report.suppressed:
+            lines.append(
+                f"{finding.location}: {finding.rule_id} [suppressed] "
+                f"{finding.message} — waived: {finding.suppression_reason}"
+            )
+    counts = report.counts()
+    if counts.total == 0:
+        lines.append(
+            f"clean: {report.n_files} files, {len(report.rule_ids)} rules, "
+            f"{counts.suppressed} waived"
+        )
+    else:
+        lines.append(
+            f"{counts.total} findings ({counts.errors} errors, {counts.warnings} warnings) "
+            f"across {report.n_files} files; {counts.suppressed} waived"
+        )
+    return "\n".join(lines)
+
+
+def report_payload(report: AnalysisReport) -> Dict[str, object]:
+    """The JSON-serialisable report (suppressed findings included, flagged)."""
+    counts = report.counts()
+    return {
+        "schema_version": LINT_SCHEMA_VERSION,
+        "paths": list(report.paths),
+        "rules": list(report.rule_ids),
+        "n_files": report.n_files,
+        "findings": [finding.to_dict() for finding in report.findings],
+        "summary": {
+            "errors": counts.errors,
+            "warnings": counts.warnings,
+            "suppressed": counts.suppressed,
+            "total": counts.total,
+            "by_rule": dict(counts.by_rule),
+            "clean": counts.total == 0,
+        },
+    }
+
+
+def format_json(report: AnalysisReport) -> str:
+    """The CI artifact: schema-versioned, key-sorted, byte-stable JSON."""
+    return json.dumps(report_payload(report), indent=2, sort_keys=True)
+
+
+def severity_counts(report: AnalysisReport) -> Dict[str, int]:
+    """Active findings per severity name (for programmatic consumers)."""
+    tally = {str(Severity.WARNING): 0, str(Severity.ERROR): 0}
+    for finding in report.active:
+        tally[str(finding.severity)] += 1
+    return tally
+
+
+__all__ = ["LINT_SCHEMA_VERSION", "format_text", "format_json", "report_payload", "severity_counts"]

@@ -1,0 +1,323 @@
+"""C-rules: the registry contracts.
+
+The repo's plugin axes — selectors (:mod:`repro.core.registry`), worker
+behaviours (:mod:`repro.workers.registry`) and routing policies
+(:mod:`repro.serving.routing`) — are stringly-typed registries: nothing at
+import time proves a registered class actually implements the API its
+registry will call.  The C-rules close that gap statically, resolving
+registration sites in *any* style the repo uses (``@register_behavior``
+decorators, ``register_router(name, Cls)`` calls, or
+``registry.register(...)`` through a local alias of a global registry) and
+checking the target against the cross-module :class:`ProjectIndex`:
+
+``C001`` behaviour classes implement ``curve_params`` + ``batch_accuracy``
+``C002`` router classes implement ``route`` and the membership hooks
+``C003`` selector factories accept the conventional ``seed`` keyword
+``C004`` payload writers in schema-versioned modules stamp ``schema_version``
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.analysis.base import BaseRule
+from repro.analysis.context import ModuleContext, ProjectIndex
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import register_rule
+
+#: Registrar function name -> contract axis.
+REGISTRAR_AXES = {
+    "register_behavior": "behavior",
+    "register_router": "router",
+    "register_selector": "selector",
+}
+
+#: ``<GLOBAL_*_REGISTRY>.register`` method calls, by registry global name.
+REGISTRY_GLOBAL_AXES = {
+    "GLOBAL_BEHAVIOR_REGISTRY": "behavior",
+    "GLOBAL_ROUTER_REGISTRY": "router",
+    "GLOBAL_SELECTOR_REGISTRY": "selector",
+}
+
+#: Methods a registered behaviour class must provide (PR 5's batched
+#: accuracy-curve contract: the vectorized answer engine calls both).
+BEHAVIOR_METHODS = ("curve_params", "batch_accuracy")
+
+#: Methods a registered router class must provide (routing plus the
+#: membership-invalidation hooks the marketplace calls on churn).
+ROUTER_METHODS = ("route", "on_worker_added", "on_worker_removed")
+
+#: Method names treated as schema-versioned payload writers.
+PAYLOAD_METHODS = ("to_dict", "trace_dict")
+
+
+def _registrar_axis(qualified: Optional[str]) -> Optional[str]:
+    """The contract axis of a call target, or ``None`` if not a registrar."""
+    if qualified is None:
+        return None
+    parts = qualified.split(".")
+    axis = REGISTRAR_AXES.get(parts[-1])
+    if axis is not None:
+        return axis
+    if parts[-1] == "register" and len(parts) >= 2:
+        return REGISTRY_GLOBAL_AXES.get(parts[-2])
+    return None
+
+
+def _registration_sites(module: ModuleContext) -> Iterator[Tuple[str, ast.AST, Optional[ast.expr], str]]:
+    """Yield ``(axis, anchor_node, target_expr, registered_name)`` per site.
+
+    ``target_expr`` is ``None`` when the registration decorates a definition
+    in this module — the decorated node itself is the target then.
+    """
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+            for decorator in node.decorator_list:
+                call = decorator if isinstance(decorator, ast.Call) else None
+                func = call.func if call is not None else decorator
+                axis = _registrar_axis(module.resolve(func))
+                if axis is not None:
+                    yield axis, node, None, _registered_name(call)
+        elif isinstance(node, ast.Call):
+            axis = _registrar_axis(module.resolve_call(node))
+            if axis is None:
+                continue
+            target = node.args[1] if len(node.args) >= 2 else None
+            if target is None:
+                target = next((kw.value for kw in node.keywords if kw.arg == "factory"), None)
+            if target is not None:
+                yield axis, node, target, _registered_name(node)
+
+
+def _registered_name(call: Optional[ast.Call]) -> str:
+    if call is not None and call.args and isinstance(call.args[0], ast.Constant):
+        value = call.args[0].value
+        if isinstance(value, str):
+            return value
+    return "<dynamic>"
+
+
+def _accepts(params: Tuple[str, ...], has_kwargs: bool, param: str) -> bool:
+    return param in params or has_kwargs
+
+
+class _RegistrationRule(BaseRule):
+    """Shared walk over registration sites for one contract axis."""
+
+    axis: str = ""
+
+    def check(self, module: ModuleContext, project: ProjectIndex) -> Iterator[Finding]:
+        prefix = f"{module.module_name}." if module.module_name else ""
+        for axis, anchor, target, registered_name in _registration_sites(module):
+            if axis != self.axis:
+                continue
+            if target is None:
+                # Decorated definition in this module.
+                qualified = f"{prefix}{anchor.name}"  # type: ignore[attr-defined]
+            else:
+                if isinstance(target, ast.Lambda):
+                    yield from self._check_lambda(module, anchor, target, registered_name)
+                    continue
+                resolved = module.resolve(target)
+                if resolved is None:
+                    continue
+                qualified = resolved
+            yield from self._check_target(module, project, anchor, qualified, registered_name)
+
+    def _check_lambda(
+        self, module: ModuleContext, anchor: ast.AST, target: ast.Lambda, registered_name: str
+    ) -> Iterator[Finding]:
+        return iter(())
+
+    def _check_target(
+        self,
+        module: ModuleContext,
+        project: ProjectIndex,
+        anchor: ast.AST,
+        qualified: str,
+        registered_name: str,
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def _missing_methods(
+        self, project: ProjectIndex, class_name: str, required: Tuple[str, ...]
+    ) -> List[str]:
+        missing = []
+        for method in required:
+            if project.has_method(class_name, method) is False:
+                missing.append(method)
+        return missing
+
+
+@register_rule
+class BehaviorContractRule(_RegistrationRule):
+    """Registered behaviours must satisfy the batched accuracy-curve API."""
+
+    rule_id = "C001"
+    name = "behavior-contract"
+    severity = Severity.ERROR
+    axis = "behavior"
+    description = (
+        "class registered as a worker behavior missing curve_params/batch_accuracy"
+    )
+
+    def _check_target(self, module, project, anchor, qualified, registered_name):
+        info = project.classes.get(qualified)
+        if info is not None:
+            missing = self._missing_methods(project, qualified, BEHAVIOR_METHODS)
+            if missing:
+                yield self.finding(
+                    module,
+                    anchor,
+                    f"class '{qualified}' registered as behavior {registered_name!r} does not "
+                    f"implement {', '.join(missing)}; the vectorized answer engine calls both "
+                    f"(see repro.workers.behavior.WorkerBehavior)",
+                )
+            return
+        factory = project.functions.get(qualified)
+        if factory is not None and not _accepts(factory.params, factory.has_kwargs, "profile"):
+            yield self.finding(
+                module,
+                anchor,
+                f"behavior factory '{qualified}' registered as {registered_name!r} does not "
+                f"accept the 'profile' argument the registry passes",
+            )
+
+
+@register_rule
+class RouterContractRule(_RegistrationRule):
+    """Registered routers must route and honour the membership hooks."""
+
+    rule_id = "C002"
+    name = "router-contract"
+    severity = Severity.ERROR
+    axis = "router"
+    description = (
+        "class registered as a router missing route/on_worker_added/on_worker_removed"
+    )
+
+    def _check_target(self, module, project, anchor, qualified, registered_name):
+        info = project.classes.get(qualified)
+        if info is not None:
+            missing = self._missing_methods(project, qualified, ROUTER_METHODS)
+            if missing:
+                yield self.finding(
+                    module,
+                    anchor,
+                    f"class '{qualified}' registered as router {registered_name!r} does not "
+                    f"implement {', '.join(missing)}; marketplace churn calls the membership "
+                    f"hooks on every arrival/departure (see repro.serving.routing.BaseRouter)",
+                )
+            return
+        factory = project.functions.get(qualified)
+        if factory is not None and not factory.params and not factory.has_kwargs:
+            yield self.finding(
+                module,
+                anchor,
+                f"router factory '{qualified}' registered as {registered_name!r} takes no "
+                f"arguments; the registry calls it with the serving pool",
+            )
+
+
+@register_rule
+class SelectorSeedRule(_RegistrationRule):
+    """Selector factories must accept the conventional ``seed`` keyword."""
+
+    rule_id = "C003"
+    name = "selector-seed"
+    severity = Severity.ERROR
+    axis = "selector"
+    description = "selector factory without a 'seed' parameter (the registry's seeding convention)"
+
+    def _check_lambda(self, module, anchor, target, registered_name):
+        params = tuple(arg.arg for arg in target.args.args)
+        if not _accepts(params, target.args.kwarg is not None, "seed"):
+            yield self.finding(
+                module,
+                anchor,
+                f"selector factory registered as {registered_name!r} does not accept "
+                f"'seed'; every selector factory must take the seed keyword so runs "
+                f"stay reproducible",
+            )
+
+    def _check_target(self, module, project, anchor, qualified, registered_name):
+        factory = project.functions.get(qualified)
+        if factory is not None:
+            if not _accepts(factory.params, factory.has_kwargs, "seed"):
+                yield self.finding(
+                    module,
+                    anchor,
+                    f"selector factory '{qualified}' registered as {registered_name!r} does "
+                    f"not accept 'seed'; every selector factory must take the seed keyword",
+                )
+            return
+        if qualified in project.classes and project.init_accepts(qualified, "seed") is False:
+            yield self.finding(
+                module,
+                anchor,
+                f"selector class '{qualified}' registered as {registered_name!r} has an "
+                f"__init__ without 'seed'; every selector factory must take the seed keyword",
+            )
+
+
+@register_rule
+class SchemaVersionRule(BaseRule):
+    """Payload writers in schema-versioned modules stamp their version."""
+
+    rule_id = "C004"
+    name = "schema-version"
+    severity = Severity.ERROR
+    description = (
+        "to_dict/trace_dict in a schema-versioned module that emits no schema_version key"
+    )
+
+    def check(self, module: ModuleContext, project: ProjectIndex) -> Iterator[Finding]:
+        if not module.is_schema_versioned:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for item in node.body:
+                if (
+                    isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and item.name in PAYLOAD_METHODS
+                    and not self._emits_schema_version(item)
+                ):
+                    yield self.finding(
+                        module,
+                        item,
+                        f"'{node.name}.{item.name}' writes a payload in a schema-versioned "
+                        f"module but never emits a 'schema_version' key (directly, via a "
+                        f"*_SCHEMA_VERSION constant, or by delegating to a sibling writer)",
+                    )
+
+    @staticmethod
+    def _emits_schema_version(method: ast.AST) -> bool:
+        for node in ast.walk(method):
+            if isinstance(node, ast.Constant) and node.value == "schema_version":
+                return True
+            if isinstance(node, ast.Name) and "SCHEMA_VERSION" in node.id:
+                return True
+            if isinstance(node, ast.Attribute) and "SCHEMA_VERSION" in node.attr:
+                return True
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "self"
+                and node.func.attr in PAYLOAD_METHODS
+            ):
+                return True
+        return False
+
+
+__all__ = [
+    "BehaviorContractRule",
+    "RouterContractRule",
+    "SelectorSeedRule",
+    "SchemaVersionRule",
+    "BEHAVIOR_METHODS",
+    "ROUTER_METHODS",
+    "PAYLOAD_METHODS",
+]

@@ -1,0 +1,329 @@
+"""D-rules: the determinism discipline.
+
+Everything this repo claims — bit-identical engines, byte-identical
+journals, order-independent shards — rests on a handful of coding
+invariants that no generic linter checks.  The D-rules encode them:
+
+``D001`` global or unseeded RNG outside :mod:`repro.stats.rng`
+``D002`` wall-clock / timing calls (pragma the timing-report sites)
+``D003`` ``json.dumps``/``json.dump`` without ``sort_keys=True``
+``D004`` file writes in journal/store modules not paired with ``os.fsync``
+``D005`` iteration over a ``set`` expression (unordered -> irreproducible)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.base import BaseRule
+from repro.analysis.context import ModuleContext, ProjectIndex
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import register_rule
+
+#: Legacy ``numpy.random`` module-level samplers (the shared global state).
+NUMPY_GLOBAL_FNS = frozenset(
+    {
+        "seed", "rand", "randn", "randint", "random", "random_sample", "ranf",
+        "sample", "choice", "shuffle", "permutation", "uniform", "normal",
+        "binomial", "beta", "gamma", "poisson", "exponential", "bytes",
+        "standard_normal", "standard_cauchy", "standard_exponential",
+        "standard_gamma", "standard_t", "get_state", "set_state",
+        "multivariate_normal", "dirichlet", "laplace", "logistic",
+        "lognormal", "geometric", "hypergeometric", "multinomial",
+        "negative_binomial", "pareto", "power", "rayleigh", "triangular",
+        "vonmises", "wald", "weibull", "zipf", "chisquare", "gumbel",
+    }
+)
+
+#: Stdlib ``random`` module-level functions (also shared global state).
+STDLIB_RANDOM_FNS = frozenset(
+    {
+        "seed", "random", "randint", "randrange", "choice", "choices",
+        "shuffle", "sample", "uniform", "triangular", "betavariate",
+        "expovariate", "gammavariate", "gauss", "lognormvariate",
+        "normalvariate", "vonmisesvariate", "paretovariate",
+        "weibullvariate", "getrandbits", "randbytes", "getstate", "setstate",
+    }
+)
+
+#: Non-deterministic clock reads.  The monotonic timers are listed too:
+#: they are legitimate *only* in timing-report contexts (bench loops,
+#: ``elapsed_s`` report fields), which declare themselves with a pragma.
+CLOCK_CALLS = frozenset(
+    {
+        "time.time", "time.time_ns", "time.localtime", "time.gmtime",
+        "time.ctime", "time.asctime", "time.strftime",
+        "time.perf_counter", "time.perf_counter_ns",
+        "time.monotonic", "time.monotonic_ns",
+        "time.process_time", "time.process_time_ns", "time.thread_time",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "datetime.date.today",
+    }
+)
+
+#: Methods whose call means "bytes hit a file" in a durable module.
+WRITE_METHODS = frozenset({"write", "writelines"})
+
+#: Path convenience writers that can never be fsynced before closing.
+UNSYNCABLE_WRITE_METHODS = frozenset({"write_text", "write_bytes"})
+
+
+def _is_unseeded(node: ast.Call) -> bool:
+    """Whether a generator-constructing call pins no seed."""
+    if not node.args and not node.keywords:
+        return True
+    if node.args and isinstance(node.args[0], ast.Constant) and node.args[0].value is None:
+        return True
+    for keyword in node.keywords:
+        if keyword.arg == "seed" and isinstance(keyword.value, ast.Constant) and keyword.value.value is None:
+            return True
+    return False
+
+
+@register_rule
+class GlobalRngRule(BaseRule):
+    """No global or unseeded RNG outside the designated RNG module."""
+
+    rule_id = "D001"
+    name = "global-rng"
+    severity = Severity.ERROR
+    description = (
+        "global numpy/stdlib random state or unseeded generator outside repro/stats/rng.py"
+    )
+
+    def check(self, module: ModuleContext, project: ProjectIndex) -> Iterator[Finding]:
+        if module.is_rng_module:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = module.resolve_call(node)
+            if qualified is None:
+                continue
+            message = self._violation(qualified, node)
+            if message is not None:
+                yield self.finding(module, node, message)
+
+    @staticmethod
+    def _violation(qualified: str, node: ast.Call) -> Optional[str]:
+        if qualified.startswith("numpy.random."):
+            tail = qualified[len("numpy.random."):]
+            if tail in NUMPY_GLOBAL_FNS:
+                return (
+                    f"call to the global numpy RNG '{qualified}'; draw from a seeded "
+                    f"Generator (repro.stats.rng.as_generator) instead"
+                )
+            if tail == "RandomState":
+                return (
+                    "legacy 'numpy.random.RandomState'; use a seeded "
+                    "numpy.random.Generator via repro.stats.rng.as_generator"
+                )
+            if tail == "default_rng" and _is_unseeded(node):
+                return (
+                    "'numpy.random.default_rng()' without a seed draws fresh OS entropy; "
+                    "pass an explicit seed (or thread one through repro.stats.rng)"
+                )
+        elif qualified.startswith("random."):
+            tail = qualified[len("random."):]
+            if tail in STDLIB_RANDOM_FNS:
+                return (
+                    f"call to the stdlib global RNG '{qualified}'; use a seeded "
+                    f"numpy Generator from repro.stats.rng instead"
+                )
+            if tail in ("Random", "SystemRandom") and (tail == "SystemRandom" or _is_unseeded(node)):
+                return f"'{qualified}' without a fixed seed is irreproducible"
+        elif qualified == "as_generator" or qualified.endswith(".as_generator"):
+            if _is_unseeded(node):
+                return (
+                    "'as_generator()' with no seed draws fresh entropy; outside "
+                    "repro/stats/rng.py every stream must be explicitly seeded"
+                )
+        return None
+
+
+@register_rule
+class WallClockRule(BaseRule):
+    """Clock reads are non-deterministic; timing-report sites must say so."""
+
+    rule_id = "D002"
+    name = "wall-clock"
+    severity = Severity.ERROR
+    description = (
+        "wall-clock or timer call; timing-report contexts declare themselves with a pragma"
+    )
+
+    def check(self, module: ModuleContext, project: ProjectIndex) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = module.resolve_call(node)
+            if qualified in CLOCK_CALLS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"clock read '{qualified}' is non-deterministic; if this is a "
+                    f"timing-report context, suppress with "
+                    f"'# repro: allow[{self.rule_id}] -- <why>'",
+                )
+
+
+@register_rule
+class UnsortedJsonRule(BaseRule):
+    """Serialized JSON must be key-ordered or artifacts stop being comparable."""
+
+    rule_id = "D003"
+    name = "unsorted-json"
+    severity = Severity.ERROR
+    description = "json.dumps/json.dump without sort_keys=True (artifact bytes become dict-order-dependent)"
+
+    def check(self, module: ModuleContext, project: ProjectIndex) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = module.resolve_call(node)
+            if qualified not in ("json.dumps", "json.dump"):
+                continue
+            sort_keys = next((kw.value for kw in node.keywords if kw.arg == "sort_keys"), None)
+            if sort_keys is None:
+                yield self.finding(
+                    module, node, f"'{qualified}' without sort_keys=True; artifact bytes must not depend on dict insertion order"
+                )
+            elif isinstance(sort_keys, ast.Constant) and sort_keys.value is not True:
+                yield self.finding(
+                    module, node, f"'{qualified}' with sort_keys={sort_keys.value!r}; artifacts must serialize with sort_keys=True"
+                )
+
+
+@register_rule
+class UnsyncedWriteRule(BaseRule):
+    """Durable modules pair every file write with an ``os.fsync``."""
+
+    rule_id = "D004"
+    name = "unsynced-write"
+    severity = Severity.ERROR
+    description = "file write in a journal/store module not paired with os.fsync in the same function"
+
+    def check(self, module: ModuleContext, project: ProjectIndex) -> Iterator[Finding]:
+        if not module.is_durable_module:
+            return
+        for scope in self._scopes(module.tree):
+            yield from self._check_scope(module, scope)
+
+    @staticmethod
+    def _scopes(tree: ast.Module) -> Iterator[ast.AST]:
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+        # Module-level statements form one pseudo-scope (defs excluded:
+        # their bodies were already yielded above).
+        top = ast.Module(
+            body=[
+                stmt
+                for stmt in tree.body
+                if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+            ],
+            type_ignores=[],
+        )
+        yield top
+
+    def _check_scope(self, module: ModuleContext, scope: ast.AST) -> Iterator[Finding]:
+        opens_for_write = False
+        has_fsync = False
+        write_calls = []
+        unsyncable_calls = []
+        for node in ast.walk(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            name = module.callable_name(node)
+            if name == "open" and self._write_mode(node):
+                opens_for_write = True
+            elif name == "os.fsync" or name == "fsync":
+                has_fsync = True
+            elif isinstance(node.func, ast.Attribute):
+                if node.func.attr in WRITE_METHODS:
+                    write_calls.append(node)
+                elif node.func.attr in UNSYNCABLE_WRITE_METHODS:
+                    unsyncable_calls.append((node, node.func.attr))
+        if opens_for_write and not has_fsync:
+            for call in write_calls:
+                yield self.finding(
+                    module,
+                    call,
+                    "write to a file opened for writing with no os.fsync in the same "
+                    "function; journal/store appends must be durable before they count",
+                )
+        for call, attr in unsyncable_calls:
+            yield self.finding(
+                module,
+                call,
+                f"'{attr}' cannot fsync before closing; use open() + write + "
+                f"flush + os.fsync in durable modules",
+            )
+
+    @staticmethod
+    def _write_mode(node: ast.Call) -> bool:
+        mode = None
+        if len(node.args) >= 2:
+            mode = node.args[1]
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                mode = keyword.value
+        if mode is None:
+            return False  # default "r"
+        if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+            return any(flag in mode.value for flag in "wax+")
+        return True  # dynamic mode: assume the worst
+
+
+@register_rule
+class SetIterationRule(BaseRule):
+    """Iterating a set feeds unordered data into downstream state."""
+
+    rule_id = "D005"
+    name = "set-iteration"
+    severity = Severity.ERROR
+    description = "iteration over a set expression; wrap in sorted(...) so the order is pinned"
+
+    def check(self, module: ModuleContext, project: ProjectIndex) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            for iterable in self._iteration_exprs(module, node):
+                if self._is_set_expr(module, iterable):
+                    yield self.finding(
+                        module,
+                        iterable,
+                        "iteration over an unordered set; any consumer (serialization, "
+                        "seed derivation, accumulation) becomes hash-order-dependent — "
+                        "wrap in sorted(...)",
+                    )
+
+    @staticmethod
+    def _iteration_exprs(module: ModuleContext, node: ast.AST) -> Iterator[ast.expr]:
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for generator in node.generators:
+                yield generator.iter
+        elif isinstance(node, ast.Call) and node.args:
+            if module.callable_name(node) in ("list", "tuple"):
+                yield node.args[0]
+
+    @staticmethod
+    def _is_set_expr(module: ModuleContext, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            return module.callable_name(node) in ("set", "frozenset")
+        return False
+
+
+__all__ = [
+    "GlobalRngRule",
+    "WallClockRule",
+    "UnsortedJsonRule",
+    "UnsyncedWriteRule",
+    "SetIterationRule",
+    "NUMPY_GLOBAL_FNS",
+    "STDLIB_RANDOM_FNS",
+    "CLOCK_CALLS",
+]

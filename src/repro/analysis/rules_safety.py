@@ -1,0 +1,131 @@
+"""S-rules: safety checks that commonly corrupt reproducibility sideways.
+
+``S001`` mutable default arguments (state leaks across calls — and across
+repetitions, which silently couples "independent" runs)
+``S002`` swallowed bare/``Exception`` handlers (an error that should have
+failed a run instead yields a silently-wrong artifact)
+
+``E001`` is the engine's parse-failure channel: a file that does not parse
+cannot be certified by any rule, so it is itself a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import BaseRule
+from repro.analysis.context import ModuleContext, ProjectIndex
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import register_rule
+
+#: Constructor calls producing a fresh mutable object per evaluation —
+#: which, in a default, is exactly once.
+MUTABLE_FACTORIES = ("list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter", "OrderedDict")
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else func.attr if isinstance(func, ast.Attribute) else None
+        return name in MUTABLE_FACTORIES
+    return False
+
+
+@register_rule
+class MutableDefaultRule(BaseRule):
+    """Default argument values are evaluated once and shared forever."""
+
+    rule_id = "S001"
+    name = "mutable-default"
+    severity = Severity.ERROR
+    description = "mutable default argument (shared across calls; use None + in-body construction)"
+
+    def check(self, module: ModuleContext, project: ProjectIndex) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = [*node.args.defaults, *[d for d in node.args.kw_defaults if d is not None]]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    label = getattr(node, "name", "<lambda>")
+                    yield self.finding(
+                        module,
+                        default,
+                        f"mutable default argument in '{label}'; the object is created once "
+                        f"and mutations leak across calls — default to None and build inside",
+                    )
+
+
+@register_rule
+class SwallowedExceptionRule(BaseRule):
+    """Broad handlers that neither re-raise nor narrow hide real failures."""
+
+    rule_id = "S002"
+    name = "swallowed-exception"
+    severity = Severity.WARNING
+    description = "bare/broad except that swallows the error (no raise, no narrowing)"
+
+    def check(self, module: ModuleContext, project: ProjectIndex) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    module,
+                    node,
+                    "bare 'except:' catches everything including KeyboardInterrupt/"
+                    "SystemExit; name the exceptions this handler is for",
+                )
+                continue
+            if self._is_broad(node.type) and not self._reraises(node):
+                yield self.finding(
+                    module,
+                    node,
+                    "'except Exception' without re-raising swallows real failures into "
+                    "silently-wrong results; narrow the exception or re-raise",
+                )
+
+    @staticmethod
+    def _is_broad(type_node: ast.expr) -> bool:
+        names = []
+        if isinstance(type_node, ast.Tuple):
+            names = [e.id for e in type_node.elts if isinstance(e, ast.Name)]
+        elif isinstance(type_node, ast.Name):
+            names = [type_node.id]
+        return any(name in ("Exception", "BaseException") for name in names)
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+
+@register_rule
+class SyntaxErrorRule(BaseRule):
+    """A file that fails to parse cannot be certified clean."""
+
+    rule_id = "E001"
+    name = "syntax-error"
+    severity = Severity.ERROR
+    description = "file failed to parse; no rule can certify it"
+
+    def check(self, module: ModuleContext, project: ProjectIndex) -> Iterator[Finding]:
+        # Parse failures never reach the rule stage; the engine reports
+        # them through from_error on the unparsed file.
+        return iter(())
+
+    def from_error(self, display_path: str, error: SyntaxError) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            rule_name=self.name,
+            severity=self.severity,
+            path=display_path,
+            line=error.lineno or 1,
+            col=error.offset or 1,
+            message=f"syntax error: {error.msg}",
+        )
+
+
+__all__ = ["MutableDefaultRule", "SwallowedExceptionRule", "SyntaxErrorRule", "MUTABLE_FACTORIES"]

@@ -56,6 +56,7 @@ import json
 import sys
 from typing import List, Optional, Sequence
 
+from repro.analysis import rule_exists, rule_names
 from repro.campaign import Campaign
 from repro.config import ExperimentConfig
 from repro.core.registry import selector_exists, selector_names
@@ -138,6 +139,15 @@ def _router_name(value: str) -> str:
     if not router_exists(value):
         raise argparse.ArgumentTypeError(
             f"unknown router {value!r}; registered routers: {', '.join(router_names())}"
+        )
+    return value.strip().lower()
+
+
+def _rule_name(value: str) -> str:
+    """Argparse type: validate a lint-rule id/alias against the rule registry."""
+    if not rule_exists(value):
+        raise argparse.ArgumentTypeError(
+            f"unknown rule {value!r}; registered rules: {', '.join(rule_names())}"
         )
     return value.strip().lower()
 
@@ -299,6 +309,52 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     scenarios_parser.add_argument("--json", action="store_true", help="print the list as JSON")
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="run the determinism & contract analyzer over the repo's sources",
+        description=(
+            "Statically check the reproducibility discipline: unseeded RNG, "
+            "wall-clock reads, unsorted JSON artifacts, unsynced journal "
+            "writes, registry contracts, and more.  Intentional violations "
+            "are waived inline with '# repro: allow[RULE] -- <reason>'."
+        ),
+    )
+    lint_parser.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to analyze (default: src benchmarks examples)",
+    )
+    lint_parser.add_argument(
+        "--rules",
+        nargs="+",
+        type=_rule_name,
+        default=None,
+        metavar="RULE",
+        help="run only these rules (ids or aliases, case-insensitive)",
+    )
+    lint_parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default text; json is the schema-versioned CI artifact)",
+    )
+    lint_parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on warnings too, not only errors",
+    )
+    lint_parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also list findings waived by pragmas (text format only)",
+    )
+    lint_parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="describe every registered rule and exit",
+    )
 
     run_parser = subparsers.add_parser(
         "run",
@@ -780,7 +836,13 @@ def _list_behaviors(args: argparse.Namespace) -> int:
 def _list_scenarios(args: argparse.Namespace) -> int:
     """The ``repro-crowd scenarios`` subcommand: recipes + grammar."""
     if args.json:
-        print(json.dumps({name: dict(mix) for name, mix in sorted(SCENARIO_RECIPES.items())}, indent=2))
+        print(
+            json.dumps(
+                {name: dict(mix) for name, mix in sorted(SCENARIO_RECIPES.items())},
+                indent=2,
+                sort_keys=True,
+            )
+        )
         return 0
     print("named scenario recipes (usable as '<dataset>:<recipe>' or --scenario <recipe>):")
     for name, mix in sorted(SCENARIO_RECIPES.items()):
@@ -792,6 +854,29 @@ def _list_scenarios(args: argparse.Namespace) -> int:
     print("examples: repro-crowd run --dataset S-1 --scenario spam10")
     print("          repro-crowd robustness --datasets S-1 --behavior adversarial --rates 0 0.2 0.4")
     return 0
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    """The ``repro-crowd lint`` subcommand: the determinism & contract gate."""
+    from repro.analysis import analyze, describe_rule, format_json, format_text, resolve_rule_name
+
+    if args.list_rules:
+        for rule_id in rule_names():
+            print(describe_rule(rule_id))
+        return 0
+    try:
+        report = analyze(
+            args.paths or None,
+            rules=[resolve_rule_name(name) for name in args.rules] if args.rules else None,
+        )
+    except FileNotFoundError as exc:
+        print(f"repro-crowd lint: error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(format_json(report))
+    else:
+        print(format_text(report, show_suppressed=args.show_suppressed))
+    return report.exit_code(strict=args.strict)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -812,6 +897,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _list_behaviors(args)
     if args.experiment == "scenarios":
         return _list_scenarios(args)
+    if args.experiment == "lint":
+        return _run_lint(args)
 
     # Artefact regeneration commands share ExperimentConfig-shaped options.
     from repro.experiments import (

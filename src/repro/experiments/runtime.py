@@ -42,9 +42,9 @@ def run_runtime(
             cpe_config=config.cpe_config(), lge_config=config.lge_config(), rng=config.base_seed
         )
         environment = instance.environment(run_seed=0)
-        start = time.perf_counter()
+        start = time.perf_counter()  # repro: allow[D002] -- the runtime table measures wall clock
         selector.select(environment)
-        elapsed = time.perf_counter() - start
+        elapsed = time.perf_counter() - start  # repro: allow[D002] -- the runtime table measures wall clock
         rows.append(
             {
                 "dataset": name,

@@ -1,0 +1,149 @@
+"""CLI tests for ``repro-crowd lint`` and the CLI's byte-stability guarantee."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import LINT_SCHEMA_VERSION
+from repro.cli import build_parser, main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+class TestLintParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.experiment == "lint"
+        assert args.paths == []
+        assert args.rules is None
+        assert args.format == "text"
+        assert not args.strict
+
+    def test_rules_validated_at_parse_time(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["lint", "--rules", "Z999"])
+        assert excinfo.value.code == 2
+        stderr = capsys.readouterr().err
+        assert "Z999" in stderr
+        assert "D001" in stderr  # the error lists the registered rules
+
+    def test_rules_accept_ids_and_aliases_case_insensitively(self):
+        args = build_parser().parse_args(["lint", "--rules", "d003", "Wall-Clock"])
+        assert args.rules == ["d003", "wall-clock"]
+
+    def test_format_choices(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lint", "--format", "xml"])
+        assert "invalid choice" in capsys.readouterr().err
+
+
+class TestLintCommand:
+    @pytest.fixture()
+    def dirty_tree(self, tmp_path):
+        (tmp_path / "bad.py").write_text(
+            textwrap.dedent(
+                """
+                import json
+                import time
+
+                t = time.time()
+                s = time.perf_counter()  # repro: allow[D002] -- timing harness
+                print(json.dumps({"a": 1}))
+                """
+            ),
+            encoding="utf-8",
+        )
+        return tmp_path
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("D001", "D005", "C001", "C004", "S001", "S002", "P001", "E001"):
+            assert rule_id in out
+
+    def test_findings_exit_1_text_format(self, dirty_tree, capsys):
+        assert main(["lint", str(dirty_tree)]) == 1
+        out = capsys.readouterr().out
+        assert "D002" in out and "D003" in out
+        assert "2 findings (2 errors, 0 warnings)" in out
+        assert "1 waived" in out
+
+    def test_show_suppressed_lists_waivers(self, dirty_tree, capsys):
+        main(["lint", str(dirty_tree), "--show-suppressed"])
+        assert "waived: timing harness" in capsys.readouterr().out
+
+    def test_json_format_is_the_schema_versioned_artifact(self, dirty_tree, capsys):
+        assert main(["lint", str(dirty_tree), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == LINT_SCHEMA_VERSION
+        assert payload["summary"]["errors"] == 2
+        assert payload["summary"]["suppressed"] == 1
+        assert payload["summary"]["clean"] is False
+
+    def test_rules_filter(self, dirty_tree, capsys):
+        assert main(["lint", str(dirty_tree), "--rules", "unsorted-json"]) == 1
+        out = capsys.readouterr().out
+        assert "D003" in out and "D002" not in out
+
+    def test_clean_tree_exits_0(self, tmp_path, capsys):
+        (tmp_path / "fine.py").write_text("x = 1\n", encoding="utf-8")
+        assert main(["lint", str(tmp_path)]) == 0
+        assert capsys.readouterr().out.startswith("clean: 1 files")
+
+    def test_warning_only_tree_fails_under_strict(self, tmp_path, capsys):
+        (tmp_path / "warn.py").write_text(
+            "try:\n    pass\nexcept Exception:\n    pass\n", encoding="utf-8"
+        )
+        assert main(["lint", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["lint", str(tmp_path), "--strict"]) == 1
+
+    def test_missing_path_is_a_usage_error(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nowhere")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_repo_surface_is_clean_through_the_cli(self, monkeypatch, capsys):
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["lint", "--strict"]) == 0
+        assert capsys.readouterr().out.startswith("clean:")
+
+
+class TestByteStability:
+    """Same seed, same command -> byte-identical stdout."""
+
+    def _capture(self, capsys, argv):
+        assert main(argv) == 0
+        return capsys.readouterr().out
+
+    def test_run_json_is_byte_stable(self, capsys):
+        argv = ["run", "--dataset", "S-1", "--selector", "us", "--seed", "11", "--json"]
+        first = self._capture(capsys, argv)
+        second = self._capture(capsys, argv)
+        assert first == second
+        json.loads(first)  # and it is valid JSON
+
+    def test_scenarios_json_is_byte_stable_and_key_sorted(self, capsys):
+        first = self._capture(capsys, ["scenarios", "--json"])
+        second = self._capture(capsys, ["scenarios", "--json"])
+        assert first == second
+        payload = json.loads(first)
+        assert list(payload) == sorted(payload)
+        for mix in payload.values():
+            assert list(mix) == sorted(mix)
+
+    def test_scenarios_text_is_byte_stable(self, capsys):
+        first = self._capture(capsys, ["scenarios"])
+        second = self._capture(capsys, ["scenarios"])
+        assert first == second
+
+    def test_lint_json_is_byte_stable(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("import time\nt = time.time()\n", encoding="utf-8")
+        argv = ["lint", str(tmp_path), "--format", "json"]
+        assert main(argv) == 1
+        first = capsys.readouterr().out
+        assert main(argv) == 1
+        assert capsys.readouterr().out == first
