@@ -3,22 +3,41 @@
 Times the two serving hot paths in isolation:
 
 * **routing** — ``route()`` + load release per policy (``round_robin``,
-  ``least_loaded``, ``domain_affinity``) across pool sizes up to 640
-  workers, reported as routed tasks/second;
+  ``least_loaded``, ``domain_affinity``) across pool sizes up to 100k
+  workers, reported as routed tasks/second.  ``domain_affinity`` is timed
+  under its ``indexed`` engine (the per-domain qualification indexes) at
+  every size and under the O(n log n) ``reference`` engine on the smaller
+  pools, so the payload documents both the scaling cliff the index
+  removed and the fact that it is gone;
 * **aggregation** — per-answer ``add()`` latency of the streaming
   majority vote and the incremental Dawid-Skene, plus the cost of the
   exact EM replay (``converge``).
+
+Besides raw cells the payload carries per-policy **throughput-flatness
+ratios** (min/max tasks-per-second across the benched pool sizes — 1.0 is
+perfectly flat, the pre-index ``domain_affinity`` measured ~0.08) and the
+``domain_affinity``/``least_loaded`` throughput ratio per size.  Passing
+``--min-affinity-ratio`` turns the largest-pool ratio into a regression
+gate: the run exits non-zero when indexed affinity routing falls below
+that fraction of the heap router, which is how CI pins the index's
+complexity class.
+
+Before any timing, the two affinity engines are routed side by side on a
+churning pool and the run aborts on the first divergent pick — timing a
+broken index is worthless.
 
 Run it as a script (the pytest suite does not collect it):
 
     PYTHONPATH=src python benchmarks/bench_serving.py
     PYTHONPATH=src python benchmarks/bench_serving.py \
-        --pool-sizes 40 640 --tasks 20000 --output /tmp/bench.json
+        --pool-sizes 640 10000 100000 --tasks 1000000 --output /tmp/bench.json
 
 The machine-readable output seeds the repo's perf trajectory
 (``BENCH_serving.json``); the schema is stamped into the payload as
-``schema_version``.  The repo's acceptance bar is >= 10k routed
-tasks/sec for ``least_loaded`` on a 640-worker pool.
+``schema_version``.  The repo's acceptance bars: >= 10k routed tasks/sec
+for ``least_loaded`` on a 640-worker pool, ``domain_affinity`` flat
+within 10% across 640 -> 10k -> 100k workers and within 2x of
+``least_loaded`` at every size.
 """
 
 # repro: allow-file[D002] -- benchmark timing loops read perf_counter by design
@@ -26,6 +45,7 @@ tasks/sec for ``least_loaded`` on a 640-worker pool.
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import platform
 import sys
@@ -37,15 +57,24 @@ import numpy as np
 from repro.serving.aggregation import IncrementalDawidSkene, OnlineMajorityVote
 from repro.serving.pool import ServingPool, ServingWorker
 from repro.serving.qualification import DomainQualification, QualificationTier
-from repro.serving.routing import make_router, router_names
+from repro.serving.routing import (
+    NoEligibleWorkersError,
+    make_router,
+    router_accepts,
+    router_names,
+)
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
-DEFAULT_POOL_SIZES = (40, 160, 640)
+DEFAULT_POOL_SIZES = (40, 160, 640, 10_000, 100_000)
 DEFAULT_DOMAIN = "target"
 #: Fraction of workers landing in the fallback tier, so tier filtering is
 #: exercised instead of idled.
 FALLBACK_FRACTION = 0.2
+#: Per-cell task cap and pool-size ceiling for the O(n log n) reference
+#: engine — uncapped, a 100k-pool reference cell alone would take hours.
+DEFAULT_REFERENCE_TASKS = 2_000
+DEFAULT_REFERENCE_MAX_POOL = 10_000
 
 
 def build_pool(n_workers: int, seed: int = 0, max_concurrent: int = 8) -> ServingPool:
@@ -55,7 +84,7 @@ def build_pool(n_workers: int, seed: int = 0, max_concurrent: int = 8) -> Servin
     fallback = rng.uniform(size=n_workers) < FALLBACK_FRACTION
     workers: List[ServingWorker] = []
     for index in range(n_workers):
-        worker_id = f"w{index:04d}"
+        worker_id = f"w{index:06d}"
         tier = QualificationTier.FALLBACK if fallback[index] else QualificationTier.QUALIFIED
         qualification = DomainQualification(
             worker_id=worker_id,
@@ -74,27 +103,102 @@ def build_pool(n_workers: int, seed: int = 0, max_concurrent: int = 8) -> Servin
     return ServingPool(workers)
 
 
+def check_engine_equivalence(n_workers: int, n_tasks: int, votes: int, seed: int = 0) -> int:
+    """Route both affinity engines side by side on a churning pool.
+
+    Drives identical route / complete / demote / remove / re-add scripts
+    against two same-seeded pools and raises on the first divergent pick.
+    Returns the number of compared tasks.
+    """
+    pools = {engine: build_pool(n_workers, seed=seed) for engine in ("indexed", "reference")}
+    routers = {
+        engine: make_router("domain_affinity", pool, engine=engine)
+        for engine, pool in pools.items()
+    }
+    removed: Dict[str, ServingWorker] = {}
+    compared = 0
+    for task in range(n_tasks):
+        picks = {}
+        for engine in ("indexed", "reference"):
+            try:
+                chosen = routers[engine].route(DEFAULT_DOMAIN, votes)
+            except NoEligibleWorkersError:
+                chosen = None
+            if chosen:
+                for worker_id in chosen:
+                    pools[engine].complete_assignment(worker_id)
+            picks[engine] = chosen
+        if picks["indexed"] != picks["reference"]:
+            raise RuntimeError(
+                f"engine divergence at task {task} on a {n_workers}-worker pool: "
+                f"indexed={picks['indexed']} reference={picks['reference']}"
+            )
+        compared += 1
+        # Churn script (identical on both pools): demote the task's first
+        # pick every 7 tasks, remove a routed worker every 11, re-admit the
+        # longest-removed worker every 13.
+        if picks["indexed"] is None:
+            continue  # drained identically; a later re-admission may refill
+        if task % 7 == 3:
+            for pool in pools.values():
+                pool.demote(picks["indexed"][0], DEFAULT_DOMAIN)
+        if task % 11 == 5 and len(pools["indexed"]) > votes:
+            victim = picks["indexed"][-1]
+            for engine, pool in pools.items():
+                gone = pool.remove_worker(victim)
+                if engine == "indexed":
+                    removed[victim] = gone
+        if task % 13 == 8 and removed:
+            victim, worker = next(iter(removed.items()))
+            del removed[victim]
+            for engine, pool in pools.items():
+                pool.add_worker(
+                    worker
+                    if engine == "indexed"
+                    else ServingWorker(
+                        worker_id=worker.worker_id,
+                        qualifications=dict(worker.qualifications),
+                        max_concurrent=worker.max_concurrent,
+                        active=worker.active,
+                        assigned_total=worker.assigned_total,
+                        completed_total=worker.completed_total,
+                    )
+                )
+    return compared
+
+
 def time_routing(
     policy: str,
     n_workers: int,
     n_tasks: int,
     votes: int,
     repeats: int,
+    engine: Optional[str] = None,
 ) -> Dict[str, float]:
     """Best-of-``repeats`` routing throughput of one policy on one pool size."""
+    config: Dict[str, object] = {}
+    if engine is not None:
+        config["engine"] = engine
     times: List[float] = []
     for repeat in range(repeats):
         pool = build_pool(n_workers, seed=repeat)
-        router = make_router(policy, pool)
+        router = make_router(policy, pool, **config)
+        # Freeze the pool's object graph out of the generational collector:
+        # at 100k workers the periodic gen2 scans over construction garbage
+        # otherwise dominate the timing and masquerade as a routing cliff.
+        gc.collect()
+        gc.freeze()
         start = time.perf_counter()
         for _ in range(n_tasks):
             chosen = router.route(DEFAULT_DOMAIN, votes)
             for worker_id in chosen:
                 pool.complete_assignment(worker_id)
         times.append(time.perf_counter() - start)
+        gc.unfreeze()
     best = min(times)
     return {
         "route_s": best,
+        "n_tasks": n_tasks,
         "tasks_per_second": n_tasks / best if best > 0 else float("inf"),
     }
 
@@ -112,7 +216,7 @@ def time_aggregation(n_answers: int, n_tasks: int, n_workers: int, seed: int = 0
         if (int(w), int(t)) in seen:
             continue
         seen.add((int(w), int(t)))
-        stream.append((f"t{t:05d}", f"w{w:04d}", bool(a)))
+        stream.append((f"t{t:05d}", f"w{w:06d}", bool(a)))
 
     majority = OnlineMajorityVote()
     start = time.perf_counter()
@@ -140,24 +244,86 @@ def time_aggregation(n_answers: int, n_tasks: int, n_workers: int, seed: int = 0
     }
 
 
+def _flatness(cells: List[Dict[str, object]]) -> Dict[str, Dict[str, float]]:
+    """Per (policy, engine): min/max throughput across pool sizes and their ratio."""
+    grouped: Dict[str, List[float]] = {}
+    for cell in cells:
+        key = str(cell["policy"])
+        if cell.get("engine"):
+            key = f"{key}[{cell['engine']}]"
+        grouped.setdefault(key, []).append(float(cell["tasks_per_second"]))
+    return {
+        key: {
+            "min_tasks_per_second": min(values),
+            "max_tasks_per_second": max(values),
+            "flatness_ratio": min(values) / max(values) if max(values) > 0 else 0.0,
+        }
+        for key, values in grouped.items()
+    }
+
+
+def _affinity_ratios(cells: List[Dict[str, object]]) -> Dict[str, object]:
+    """Indexed-affinity throughput as a fraction of least_loaded, per pool size."""
+    by_size: Dict[int, Dict[str, float]] = {}
+    for cell in cells:
+        if cell.get("engine") == "reference":
+            continue
+        by_size.setdefault(int(cell["pool_size"]), {})[str(cell["policy"])] = float(
+            cell["tasks_per_second"]
+        )
+    ratios: Dict[str, float] = {}
+    for size in sorted(by_size):
+        policies = by_size[size]
+        if "domain_affinity" in policies and "least_loaded" in policies and policies["least_loaded"] > 0:
+            ratios[str(size)] = policies["domain_affinity"] / policies["least_loaded"]
+    largest = max((int(size) for size in ratios), default=None)
+    return {
+        "per_pool_size": ratios,
+        "at_largest_pool": ratios[str(largest)] if largest is not None else None,
+        "largest_pool_size": largest,
+    }
+
+
 def run_benchmark(
     pool_sizes: Sequence[int],
     n_tasks: int,
     votes: int,
     repeats: int,
     n_answers: int,
+    reference_tasks: int = DEFAULT_REFERENCE_TASKS,
+    reference_max_pool: int = DEFAULT_REFERENCE_MAX_POOL,
 ) -> Dict[str, object]:
     """The full benchmark payload."""
+    compared = check_engine_equivalence(min(pool_sizes), n_tasks=min(n_tasks, 500), votes=votes)
+    print(f"  engine equivalence: {compared} churning tasks, picks identical", file=sys.stderr)
     routing: List[Dict[str, object]] = []
     for policy in router_names():
-        for n_workers in pool_sizes:
-            result = time_routing(policy, n_workers, n_tasks, votes, repeats)
-            routing.append({"policy": policy, "pool_size": n_workers, **result})
-            print(
-                f"  {policy:>16} pool={n_workers:<4} "
-                f"{result['tasks_per_second']:>12,.0f} tasks/s",
-                file=sys.stderr,
-            )
+        engines: List[Optional[str]] = [None]
+        if router_accepts(policy, "engine"):
+            engines = ["indexed", "reference"]
+        for engine in engines:
+            for n_workers in pool_sizes:
+                cell_tasks = n_tasks
+                if engine == "reference":
+                    if n_workers > reference_max_pool:
+                        print(
+                            f"  {policy:>16} pool={n_workers:<6} engine=reference skipped "
+                            f"(pool above --reference-max-pool={reference_max_pool})",
+                            file=sys.stderr,
+                        )
+                        continue
+                    cell_tasks = min(n_tasks, reference_tasks)
+                result = time_routing(policy, n_workers, cell_tasks, votes, repeats, engine=engine)
+                cell: Dict[str, object] = {"policy": policy, "pool_size": n_workers, **result}
+                if engine is not None:
+                    cell["engine"] = engine
+                routing.append(cell)
+                label = f"{policy}[{engine}]" if engine else policy
+                print(
+                    f"  {label:>28} pool={n_workers:<6} "
+                    f"{result['tasks_per_second']:>12,.0f} tasks/s",
+                    file=sys.stderr,
+                )
     aggregation = time_aggregation(n_answers, n_tasks=max(n_answers // 5, 1), n_workers=max(pool_sizes))
     return {
         "schema_version": SCHEMA_VERSION,
@@ -167,6 +333,8 @@ def run_benchmark(
             "votes_per_task": votes,
             "repeats": repeats,
             "n_answers": n_answers,
+            "reference_tasks": reference_tasks,
+            "reference_max_pool": reference_max_pool,
         },
         "environment": {
             "python": platform.python_version(),
@@ -174,6 +342,8 @@ def run_benchmark(
             "numpy": np.__version__,
         },
         "routing": routing,
+        "throughput_flatness": _flatness(routing),
+        "affinity_vs_least_loaded": _affinity_ratios(routing),
         "aggregation": aggregation,
     }
 
@@ -185,6 +355,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--votes", type=int, default=3, help="workers per task")
     parser.add_argument("--repeats", type=int, default=3, help="timing repeats (best is kept)")
     parser.add_argument("--answers", type=int, default=50_000, help="answers streamed into the aggregators")
+    parser.add_argument(
+        "--reference-tasks",
+        type=int,
+        default=DEFAULT_REFERENCE_TASKS,
+        help="task cap per reference-engine cell (the O(n log n) baseline; default 2000)",
+    )
+    parser.add_argument(
+        "--reference-max-pool",
+        type=int,
+        default=DEFAULT_REFERENCE_MAX_POOL,
+        help="largest pool the reference engine is benched on (default 10000)",
+    )
+    parser.add_argument(
+        "--min-affinity-ratio",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help=(
+            "regression gate: exit non-zero when indexed domain_affinity throughput "
+            "at the largest benched pool is below this fraction of least_loaded"
+        ),
+    )
     parser.add_argument("--output", default="BENCH_serving.json", help="JSON output path")
     args = parser.parse_args(argv)
 
@@ -194,11 +386,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         votes=args.votes,
         repeats=args.repeats,
         n_answers=args.answers,
+        reference_tasks=args.reference_tasks,
+        reference_max_pool=args.reference_max_pool,
     )
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"wrote {args.output}", file=sys.stderr)
+    if args.min_affinity_ratio is not None:
+        ratios = payload["affinity_vs_least_loaded"]
+        ratio = ratios["at_largest_pool"]  # type: ignore[index]
+        if ratio is None:
+            print("regression gate: no affinity/least_loaded ratio measured", file=sys.stderr)
+            return 1
+        if ratio < args.min_affinity_ratio:
+            print(
+                f"regression gate FAILED: domain_affinity at pool "
+                f"{ratios['largest_pool_size']} runs at {ratio:.3f}x least_loaded "  # type: ignore[index]
+                f"(minimum {args.min_affinity_ratio})",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"regression gate passed: affinity/least_loaded ratio {ratio:.3f} "
+            f">= {args.min_affinity_ratio}",
+            file=sys.stderr,
+        )
     return 0
 
 

@@ -145,7 +145,7 @@ from repro.workers import (
     register_behavior,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "__version__",

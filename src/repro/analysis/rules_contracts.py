@@ -44,9 +44,19 @@ REGISTRY_GLOBAL_AXES = {
 #: accuracy-curve contract: the vectorized answer engine calls both).
 BEHAVIOR_METHODS = ("curve_params", "batch_accuracy")
 
-#: Methods a registered router class must provide (routing plus the
-#: membership-invalidation hooks the marketplace calls on churn).
-ROUTER_METHODS = ("route", "on_worker_added", "on_worker_removed")
+#: Methods a registered router class must provide: routing plus the full
+#: pool change-event protocol — membership hooks the marketplace calls on
+#: churn, and the index-invalidation hooks (qualification/load changes)
+#: the serving pool dispatches on every demotion, re-qualification and
+#: assignment charge.  Inheriting the no-op defaults from
+#: ``repro.serving.routing.BaseRouter`` satisfies the contract.
+ROUTER_METHODS = (
+    "route",
+    "on_worker_added",
+    "on_worker_removed",
+    "on_qualification_changed",
+    "on_load_changed",
+)
 
 #: Method names treated as schema-versioned payload writers.
 PAYLOAD_METHODS = ("to_dict", "trace_dict")
@@ -194,7 +204,8 @@ class RouterContractRule(_RegistrationRule):
     severity = Severity.ERROR
     axis = "router"
     description = (
-        "class registered as a router missing route/on_worker_added/on_worker_removed"
+        "class registered as a router missing route or a pool change-event hook "
+        "(on_worker_added/on_worker_removed/on_qualification_changed/on_load_changed)"
     )
 
     def _check_target(self, module, project, anchor, qualified, registered_name):
@@ -206,8 +217,9 @@ class RouterContractRule(_RegistrationRule):
                     module,
                     anchor,
                     f"class '{qualified}' registered as router {registered_name!r} does not "
-                    f"implement {', '.join(missing)}; marketplace churn calls the membership "
-                    f"hooks on every arrival/departure (see repro.serving.routing.BaseRouter)",
+                    f"implement {', '.join(missing)}; the pool change-event bus dispatches "
+                    f"every membership/qualification/load mutation to these hooks "
+                    f"(see repro.serving.routing.BaseRouter, whose no-op defaults satisfy them)",
                 )
             return
         factory = project.functions.get(qualified)

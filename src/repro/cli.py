@@ -434,6 +434,16 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"routing policy (default 'domain_affinity'); choices: {', '.join(router_names())}",
     )
     serve_parser.add_argument(
+        "--routing-engine",
+        choices=("indexed", "reference"),
+        default="indexed",
+        help=(
+            "ranking engine for routers that support one: 'indexed' walks "
+            "incremental per-domain qualification indexes, 'reference' re-sorts "
+            "the pool per task; both produce byte-identical traces (default indexed)"
+        ),
+    )
+    serve_parser.add_argument(
         "--votes", type=int, default=3, help="distinct workers asked per working task (default 3)"
     )
     serve_parser.add_argument(
@@ -508,6 +518,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=_router_name,
         default="least_loaded",
         help=f"routing policy shared by every campaign (default 'least_loaded'); choices: {', '.join(router_names())}",
+    )
+    marketplace_parser.add_argument(
+        "--routing-engine",
+        choices=("indexed", "reference"),
+        default="indexed",
+        help="ranking engine shared by every campaign's router (default indexed)",
     )
     marketplace_parser.add_argument(
         "--arrival-rate", type=float, default=0.5, help="expected worker arrivals per tick (default 0.5)"
@@ -669,6 +685,7 @@ def _serve_campaign(args: argparse.Namespace) -> int:
         report = campaign.serve(
             n_tasks=args.tasks,
             router=args.router,
+            routing_engine=args.routing_engine,
             votes_per_task=args.votes,
             max_assignments=args.budget,
             aggregator=args.aggregator,
@@ -745,6 +762,7 @@ def _run_marketplace(args: argparse.Namespace) -> int:
             specs,
             config=MarketplaceConfig(
                 router=args.router,
+                routing_engine=args.routing_engine,
                 votes_per_task=args.votes,
                 tasks_per_tick=args.tasks_per_tick,
                 total_tasks=args.total_tasks,

@@ -50,7 +50,7 @@ from repro.serving.qualification import (
     qualification_for,
 )
 from repro.serving.quality import DriftConfig
-from repro.serving.routing import resolve_router_name
+from repro.serving.routing import DomainAffinityRouter, resolve_router_name
 from repro.stats.rng import counter_uniforms, derive_seed, stream_seeds, token_hashes
 from repro.workers.population import PopulationConfig, sample_learning_population
 
@@ -64,8 +64,8 @@ class MarketplaceConfig:
 
     Attributes
     ----------
-    router / votes_per_task / max_concurrent / aggregator / drift /
-    reselect_fraction:
+    router / routing_engine / votes_per_task / max_concurrent /
+    aggregator / drift / reselect_fraction:
         Passed through to each campaign's
         :class:`~repro.serving.service.ServingConfig`.
     qualification:
@@ -89,6 +89,7 @@ class MarketplaceConfig:
     """
 
     router: str = "least_loaded"
+    routing_engine: str = "indexed"
     votes_per_task: int = 3
     tasks_per_tick: int = 2
     answer_delay: int = 1
@@ -118,12 +119,18 @@ class MarketplaceConfig:
             raise ValueError("max_reselections must be non-negative")
         if self.total_tasks is not None and self.total_tasks <= 0:
             raise ValueError("total_tasks must be positive when given")
+        if self.routing_engine not in DomainAffinityRouter.ENGINES:
+            raise ValueError(
+                f"unknown routing engine {self.routing_engine!r}; "
+                f"choose from: {', '.join(DomainAffinityRouter.ENGINES)}"
+            )
         resolve_router_name(self.router)
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serialisable representation (part of the journal fingerprint)."""
         return {
             "router": self.router,
+            "routing_engine": self.routing_engine,
             "votes_per_task": self.votes_per_task,
             "tasks_per_tick": self.tasks_per_tick,
             "answer_delay": self.answer_delay,
@@ -447,6 +454,14 @@ class Marketplace:
             estimate = float(ewma) if ewma is not None else float(base_estimate)
             requalified = qualification_for(policy, gid, domain, estimate=estimate, questions=questions)
             worker.serving.qualifications[domain] = requalified
+            if standing is None or standing.tier is not requalified.tier or standing.estimate != requalified.estimate:
+                # The ServingWorker object is shared across campaign pools,
+                # so a re-qualification applied here silently invalidates
+                # every other pool's domain rankings — announce it on each
+                # pool the worker is a member of.
+                for attached in self._handles:
+                    if attached.pool is not None:
+                        attached.pool.notify_qualification_changed(gid, domain)
             if requalified.tier > QualificationTier.UNQUALIFIED:
                 candidates.append((-estimate, gid))
         candidates.sort()

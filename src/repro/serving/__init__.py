@@ -6,7 +6,11 @@ package picks up from there and drives the annotation phase itself:
 * :mod:`~repro.serving.qualification` — per-domain qualification tiers
   derived from CPE estimates, training history and historical profiles;
 * :mod:`~repro.serving.pool` — the :class:`ServingPool` with per-worker
-  concurrency caps and load accounting;
+  concurrency caps, load accounting and the change-event bus every
+  membership/qualification/load mutation flows through;
+* :mod:`~repro.serving.index` — :class:`DomainIndexSet`, the per-(domain,
+  tier) pre-sorted qualification rankings the indexed affinity engine
+  routes against;
 * :mod:`~repro.serving.routing` — the routing-policy registry
   (``round_robin``, ``least_loaded``, ``domain_affinity``; extend with
   :func:`register_router`);
@@ -21,11 +25,13 @@ package picks up from there and drives the annotation phase itself:
 """
 
 from repro.serving.aggregation import IncrementalDawidSkene, OnlineMajorityVote
-from repro.serving.pool import ServingPool, ServingWorker
+from repro.serving.index import DomainIndexSet
+from repro.serving.pool import POOL_EVENT_HOOKS, ServingPool, ServingWorker, pool_event_noop
 from repro.serving.qualification import (
     DomainQualification,
     QualificationPolicy,
     QualificationTier,
+    affinity_rank_key,
 )
 from repro.serving.quality import DriftConfig, DriftEvent, QualityTracker
 from repro.serving.routing import (
@@ -35,6 +41,7 @@ from repro.serving.routing import (
     make_router,
     register_router,
     resolve_router_name,
+    router_accepts,
     router_exists,
     router_names,
 )
@@ -48,9 +55,11 @@ from repro.serving.service import (
 )
 
 __all__ = [
+    "POOL_EVENT_HOOKS",
     "SERVING_SCHEMA_VERSION",
     "AnnotationService",
     "BaseRouter",
+    "DomainIndexSet",
     "DomainQualification",
     "DriftConfig",
     "DriftEvent",
@@ -66,9 +75,12 @@ __all__ = [
     "ServingReport",
     "ServingWorker",
     "TaskAssignment",
+    "affinity_rank_key",
     "make_router",
+    "pool_event_noop",
     "register_router",
     "resolve_router_name",
+    "router_accepts",
     "router_exists",
     "router_names",
     "working_task_stream",

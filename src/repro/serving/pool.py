@@ -9,13 +9,29 @@ policies read eligibility and load here and write assignments back through
 :meth:`begin_assignment` / :meth:`complete_assignment`, so every policy
 enforces the same caps by construction.
 
-Pool membership is *mutable*: the marketplace orchestrator adds workers as
-they arrive (prestudy-qualified) and removes them when they churn out.
-Because some policies keep derived state (the ``least_loaded`` heap),
-mutation goes through an explicit invalidation protocol: listeners
-registered via :meth:`add_listener` are notified on every
-:meth:`add_worker` / :meth:`remove_worker`, so a router can never silently
-route to a departed worker off stale internal state.
+Pool membership and qualification state are *mutable*: the marketplace
+orchestrator adds workers as they arrive (prestudy-qualified), removes
+them when they churn out, and re-qualifies returners; drift detection
+demotes workers mid-run.  Because routing policies keep derived state
+(the ``least_loaded`` heap, the ``domain_affinity`` qualification
+indexes), every such mutation flows through an explicit change-event bus:
+listeners registered via :meth:`add_listener` receive
+
+``on_worker_added(worker_id)`` / ``on_worker_removed(worker_id)``
+    membership changes (:meth:`add_worker` / :meth:`remove_worker`);
+``on_qualification_changed(worker_id, domain)``
+    a worker's tier or estimate on one domain changed (:meth:`demote`,
+    :meth:`set_qualification`, or an external mutation announced via
+    :meth:`notify_qualification_changed`);
+``on_load_changed(worker_id)``
+    an in-flight slot was charged or released (:meth:`begin_assignment`,
+    :meth:`complete_assignment`, :meth:`release_assignment`).
+
+so a router can never silently route off stale internal state.  Hooks a
+listener does not define are skipped; hooks decorated with
+:func:`pool_event_noop` are skipped too, *without even a call* — dispatch
+is pre-bound per hook when the listener subscribes, which keeps the
+high-frequency load events free for routers that don't care about load.
 """
 
 from __future__ import annotations
@@ -30,6 +46,26 @@ from repro.serving.qualification import (
     qualification_for,
 )
 from repro.workers.profile import WorkerProfile
+
+#: Every hook the pool change-event bus dispatches, in event order.
+POOL_EVENT_HOOKS = (
+    "on_worker_added",
+    "on_worker_removed",
+    "on_qualification_changed",
+    "on_load_changed",
+)
+
+
+def pool_event_noop(method):
+    """Mark a listener hook as a deliberate no-op.
+
+    The pool's dispatch skips hooks carrying this marker entirely (they
+    are left out of the pre-bound callback lists), so a router that
+    defines the full listener protocol but ignores, say, load events pays
+    nothing for them.  Used on the default hooks of ``BaseRouter``.
+    """
+    method.__pool_event_noop__ = True
+    return method
 
 
 @dataclass
@@ -77,6 +113,7 @@ class ServingPool:
         self._policy = policy
         self._workers: Dict[str, ServingWorker] = {}
         self._listeners: List[object] = []
+        self._hooks: Dict[str, List[object]] = {hook: [] for hook in POOL_EVENT_HOOKS}
         for worker in workers:
             if worker.worker_id in self._workers:
                 raise ValueError(f"duplicate worker id: {worker.worker_id!r}")
@@ -161,6 +198,14 @@ class ServingPool:
         except KeyError:
             raise KeyError(f"unknown worker id: {worker_id!r}") from None
 
+    def get(self, worker_id: str) -> Optional[ServingWorker]:
+        """The worker record, or ``None`` when not (or no longer) a member.
+
+        The non-raising lookup the indexes use to validate entries on the
+        routing hot path, where departed workers are expected.
+        """
+        return self._workers.get(worker_id)
+
     @property
     def worker_ids(self) -> List[str]:
         """All worker identifiers in pool order."""
@@ -172,30 +217,46 @@ class ServingPool:
         return list(self._workers.values())
 
     # ------------------------------------------------------------------ #
-    # Membership mutation (open-world marketplaces)
+    # Change-event bus (membership, qualification and load mutation)
     # ------------------------------------------------------------------ #
     def add_listener(self, listener: object) -> None:
-        """Subscribe to membership changes.
+        """Subscribe to pool change events.
 
-        ``listener`` may implement ``on_worker_added(worker_id)`` and/or
-        ``on_worker_removed(worker_id)``; missing hooks are skipped.  The
+        ``listener`` may implement any of the :data:`POOL_EVENT_HOOKS`;
+        missing or :func:`pool_event_noop`-marked hooks are skipped.  The
         routing policies subscribe themselves at construction so their
-        derived state (e.g. the ``least_loaded`` heap) is invalidated the
-        moment membership changes.
+        derived state (the ``least_loaded`` heap, the ``domain_affinity``
+        indexes) is invalidated the moment the pool mutates.
         """
         if listener not in self._listeners:
             self._listeners.append(listener)
+            self._rebind_hooks()
 
     def discard_listener(self, listener: object) -> None:
         """Unsubscribe a listener (no-op when it was never subscribed)."""
         if listener in self._listeners:
             self._listeners.remove(listener)
+            self._rebind_hooks()
 
-    def _notify(self, hook: str, worker_id: str) -> None:
-        for listener in self._listeners:
-            callback = getattr(listener, hook, None)
-            if callback is not None:
-                callback(worker_id)
+    def _rebind_hooks(self) -> None:
+        """Pre-bind the dispatch lists so ``_notify`` is one list walk.
+
+        Binding happens at (un)subscription time, not per event: the load
+        hooks fire on every single vote, and resolving ``getattr`` plus a
+        no-op marker check there would put listener bookkeeping on the
+        routing hot path.
+        """
+        for hook in POOL_EVENT_HOOKS:
+            callbacks: List[object] = []
+            for listener in self._listeners:
+                callback = getattr(listener, hook, None)
+                if callback is not None and not getattr(callback, "__pool_event_noop__", False):
+                    callbacks.append(callback)
+            self._hooks[hook] = callbacks
+
+    def _notify(self, hook: str, *args: str) -> None:
+        for callback in self._hooks[hook]:
+            callback(*args)
 
     def add_worker(self, worker: ServingWorker) -> None:
         """Admit one worker into the pool (marketplace arrival)."""
@@ -248,6 +309,7 @@ class ServingPool:
             )
         worker.active += 1
         worker.assigned_total += 1
+        self._notify("on_load_changed", worker_id)
 
     def complete_assignment(self, worker_id: str) -> None:
         """Release one in-flight assignment (answer received or abandoned)."""
@@ -256,6 +318,7 @@ class ServingPool:
             raise RuntimeError(f"worker {worker_id!r} has no in-flight assignment to complete")
         worker.active -= 1
         worker.completed_total += 1
+        self._notify("on_load_changed", worker_id)
 
     def release_assignment(self, worker_id: str) -> None:
         """Undo a routing charge without counting it as completed work.
@@ -271,6 +334,7 @@ class ServingPool:
             raise RuntimeError(f"worker {worker_id!r} has no in-flight assignment to release")
         worker.active -= 1
         worker.assigned_total -= 1
+        self._notify("on_load_changed", worker_id)
 
     def demote(self, worker_id: str, domain: str) -> QualificationTier:
         """Drop the worker one tier on ``domain``; returns the new tier.
@@ -290,7 +354,40 @@ class ServingPool:
         ):
             demoted = demoted.demoted()
         worker.qualifications[domain] = demoted
+        if demoted.tier is not qualification.tier:
+            self._notify("on_qualification_changed", worker_id, domain)
         return worker.qualifications[domain].tier
+
+    def set_qualification(
+        self, worker_id: str, domain: str, qualification: DomainQualification
+    ) -> None:
+        """Replace the worker's qualification on ``domain`` and notify.
+
+        The sanctioned write path for re-qualification (marketplace
+        returners): routing indexes hear about the change immediately
+        instead of discovering a stale ranking mid-route.
+        """
+        worker = self[worker_id]
+        previous = worker.qualifications.get(domain)
+        worker.qualifications[domain] = qualification
+        if (
+            previous is None
+            or previous.tier is not qualification.tier
+            or previous.estimate != qualification.estimate
+        ):
+            self._notify("on_qualification_changed", worker_id, domain)
+
+    def notify_qualification_changed(self, worker_id: str, domain: str) -> None:
+        """Announce an external qualification mutation on a member worker.
+
+        Marketplace pools share ``ServingWorker`` objects across
+        campaigns, so a re-qualification applied through one pool must be
+        announced to every *other* pool holding the same record.  Unknown
+        workers are ignored — the mutation cannot affect a pool the worker
+        is not a member of.
+        """
+        if worker_id in self._workers:
+            self._notify("on_qualification_changed", worker_id, domain)
 
     # ------------------------------------------------------------------ #
     def load_snapshot(self) -> Dict[str, Dict[str, int]]:
@@ -305,4 +402,4 @@ class ServingPool:
         }
 
 
-__all__ = ["ServingWorker", "ServingPool"]
+__all__ = ["ServingWorker", "ServingPool", "POOL_EVENT_HOOKS", "pool_event_noop"]

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, replace
+from typing import Tuple
 
 
 class QualificationTier(enum.IntEnum):
@@ -117,6 +118,21 @@ class DomainQualification:
         }
 
 
+def affinity_rank_key(estimate: float, worker_id: str) -> Tuple[float, str]:
+    """The pinned affinity ranking key: ``(-estimate, worker_id)``.
+
+    This IS the routing contract of the ``domain_affinity`` policy: within
+    one qualification tier, candidates are ordered by descending estimate
+    with the worker id as the only tie-break.  Live load deliberately does
+    not participate — a key that depended on ``active`` would shift
+    *between the votes of one task* as earlier picks are charged, and it
+    could not be materialised in a pre-sorted index.  Both routing engines
+    and :class:`~repro.serving.index.DomainIndexSet` order by exactly this
+    function, which is what makes them byte-for-byte equivalent.
+    """
+    return (-float(estimate), worker_id)
+
+
 def qualification_for(
     policy: QualificationPolicy,
     worker_id: str,
@@ -138,5 +154,6 @@ __all__ = [
     "QualificationTier",
     "QualificationPolicy",
     "DomainQualification",
+    "affinity_rank_key",
     "qualification_for",
 ]

@@ -26,7 +26,7 @@ requires a *further* decay, not the same one re-detected.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 
 @dataclass(frozen=True)
@@ -117,7 +117,10 @@ class QualityTracker:
 
     def __init__(self, config: Optional[DriftConfig] = None) -> None:
         self._config = config or DriftConfig()
-        self._streams: Dict[Tuple[str, str], _Stream] = {}
+        # Nested by worker first so one departure drops all of a worker's
+        # streams in O(1) (see forget_worker) — under 100k-worker churn the
+        # flat (worker, domain)-keyed layout grew without bound.
+        self._streams: Dict[str, Dict[str, _Stream]] = {}
         self._events: List[DriftEvent] = []
 
     @property
@@ -131,7 +134,7 @@ class QualityTracker:
 
     def observe(self, worker_id: str, domain: str, agreed: bool) -> Optional[DriftEvent]:
         """Feed one agreement observation; returns a drift event if one fired."""
-        stream = self._streams.setdefault((worker_id, domain), _Stream())
+        stream = self._streams.setdefault(worker_id, {}).setdefault(domain, _Stream())
         config = self._config
         value = float(bool(agreed))
         stream.count += 1
@@ -172,13 +175,25 @@ class QualityTracker:
     # ------------------------------------------------------------------ #
     def ewma(self, worker_id: str, domain: str) -> Optional[float]:
         """Current fast EWMA of a stream (``None`` before warm-up completes)."""
-        stream = self._streams.get((worker_id, domain))
+        stream = self._streams.get(worker_id, {}).get(domain)
         return stream.fast if stream is not None else None
 
     def baseline(self, worker_id: str, domain: str) -> Optional[float]:
         """Current baseline (slow EWMA) of a stream."""
-        stream = self._streams.get((worker_id, domain))
+        stream = self._streams.get(worker_id, {}).get(domain)
         return stream.slow if stream is not None else None
+
+    def forget_worker(self, worker_id: str) -> None:
+        """Drop every EWMA stream of a departed worker (O(1)).
+
+        Bounds tracker memory on churny open-world pools: without it a
+        100k-worker marketplace run accrues a stream per worker that ever
+        answered, forever.  The drift-event *history* is kept — it drives
+        the re-selection signal, which must remember drift that already
+        happened — so a worker that later returns restarts its warm-up
+        instead of resuming a stale average.
+        """
+        self._streams.pop(worker_id, None)
 
     def drifting_workers(self, domain: str) -> List[str]:
         """Workers with at least one drift event on ``domain``, in first-drift order."""
@@ -191,9 +206,10 @@ class QualityTracker:
     def snapshot(self) -> Dict[str, Dict[str, float]]:
         """``{worker: {domain: fast_ewma}}`` for every warmed-up stream."""
         result: Dict[str, Dict[str, float]] = {}
-        for (worker_id, domain), stream in self._streams.items():
-            if stream.fast is not None:
-                result.setdefault(worker_id, {})[domain] = stream.fast
+        for worker_id, streams in self._streams.items():
+            for domain, stream in streams.items():
+                if stream.fast is not None:
+                    result.setdefault(worker_id, {})[domain] = stream.fast
         return result
 
 

@@ -17,9 +17,15 @@ concurrency cap by charging assignments through the pool):
     worker with the fewest in-flight assignments wins, lifetime assignment
     count breaks ties, worker id makes it total.
 ``domain_affinity``
-    Prefer fully qualified workers on the task's domain, ranked by
-    qualification estimate; spill into the fallback tier only when
-    qualified capacity is exhausted.
+    Prefer fully qualified workers on the task's domain, ranked by the
+    pinned affinity key ``(-estimate, worker_id)``; spill into the
+    fallback tier only when qualified capacity is exhausted.  Two
+    engines: ``indexed`` (the default) walks pre-sorted per-(domain,
+    tier) :class:`~repro.serving.index.DomainIndexSet` rankings
+    maintained from the pool event bus — O(votes + log n) per task;
+    ``reference`` re-sorts the pool per task — O(n log n) — and exists
+    as the independently-simple implementation the equivalence tests
+    hold the index against.
 
 A policy's :meth:`BaseRouter.route` picks ``n_votes`` *distinct* workers
 and charges their in-flight load; the serving loop releases the load when
@@ -33,10 +39,11 @@ from __future__ import annotations
 import abc
 import heapq
 import inspect
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
-from repro.serving.pool import ServingPool
-from repro.serving.qualification import QualificationTier
+from repro.serving.index import DomainIndexSet
+from repro.serving.pool import ServingPool, ServingWorker, pool_event_noop
+from repro.serving.qualification import QualificationTier, affinity_rank_key
 
 
 class NoEligibleWorkersError(RuntimeError):
@@ -58,13 +65,25 @@ class BaseRouter(abc.ABC):
     def pool(self) -> ServingPool:
         return self._pool
 
-    # Membership-invalidation hooks (see ServingPool.add_listener).  The
-    # defaults are no-ops; policies with derived state override them.
+    # Index-invalidation hooks (see ServingPool.add_listener).  The
+    # defaults are no-ops — and marked as such, so the pool skips them at
+    # dispatch time; policies with derived state override the ones that
+    # can invalidate it.
+    @pool_event_noop
     def on_worker_added(self, worker_id: str) -> None:
         """Called by the pool after a worker is admitted."""
 
+    @pool_event_noop
     def on_worker_removed(self, worker_id: str) -> None:
         """Called by the pool after a worker departs."""
+
+    @pool_event_noop
+    def on_qualification_changed(self, worker_id: str, domain: str) -> None:
+        """Called after a worker's tier/estimate on ``domain`` changed."""
+
+    @pool_event_noop
+    def on_load_changed(self, worker_id: str) -> None:
+        """Called after an in-flight slot was charged or released."""
 
     @abc.abstractmethod
     def route(self, domain: str, n_votes: int) -> List[str]:
@@ -180,6 +199,30 @@ class RouterRegistry:
         """Canonical names of every registered router, sorted."""
         return sorted(self._factories)
 
+    def factory_accepts(self, name: str, param: str) -> bool:
+        """Whether ``name``'s factory accepts the keyword argument ``param``.
+
+        Lets callers forward optional configuration (the serving layer's
+        ``engine=``) only to routers that understand it, so third-party
+        routers without the knob keep working.  Factories whose signature
+        cannot be introspected are assumed to accept everything.
+        """
+        canonical = self.resolve(name)
+        factory = self._factories[canonical]
+        try:
+            signature = inspect.signature(factory)
+        except (TypeError, ValueError):  # builtins / C-level factories
+            return True
+        for parameter in signature.parameters.values():
+            if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+                return True
+            if parameter.name == param and parameter.kind in (
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                inspect.Parameter.KEYWORD_ONLY,
+            ):
+                return True
+        return False
+
     def create(self, name: str, pool: ServingPool, **config: object) -> BaseRouter:
         """Build the router registered under ``name`` for ``pool``."""
         canonical = self.resolve(name)
@@ -228,21 +271,43 @@ def resolve_router_name(name: str) -> str:
     return GLOBAL_ROUTER_REGISTRY.resolve(name)
 
 
+def router_accepts(name: str, param: str) -> bool:
+    """Whether the registered router ``name`` accepts keyword ``param``."""
+    return GLOBAL_ROUTER_REGISTRY.factory_accepts(name, param)
+
+
 # ---------------------------------------------------------------------- #
 # Built-in policies
 # ---------------------------------------------------------------------- #
 class RoundRobinRouter(BaseRouter):
-    """Cycle through eligible workers in pool order."""
+    """Cycle through eligible workers in pool order.
+
+    The cycling order is a mirror of the pool's membership order,
+    maintained from the membership hooks (arrivals append, departures
+    delete in place — exactly how the pool's insertion-ordered dict
+    evolves), so a route never rebuilds the id list: re-materialising all
+    worker ids per task was an O(n) hidden scan that dominated routing
+    cost on 100k-worker pools.
+    """
 
     name = "round_robin"
 
     def __init__(self, pool: ServingPool, min_tier: QualificationTier = QualificationTier.FALLBACK) -> None:
+        # Mirrored before the base class subscribes us: the membership
+        # hooks keep this list identical to pool.worker_ids from then on.
+        self._order: List[str] = pool.worker_ids
         super().__init__(pool, min_tier)
         self._cursor = 0
 
+    def on_worker_added(self, worker_id: str) -> None:
+        self._order.append(worker_id)
+
+    def on_worker_removed(self, worker_id: str) -> None:
+        self._order.remove(worker_id)
+
     def route(self, domain: str, n_votes: int) -> List[str]:
         self._check_votes(n_votes)
-        order = self._pool.worker_ids
+        order = self._order
         chosen: List[str] = []
         scanned = 0
         while len(chosen) < n_votes and scanned < len(order):
@@ -271,7 +336,13 @@ class LeastLoadedRouter(BaseRouter):
     arrivals are pushed onto the heap via :meth:`on_worker_added`, and
     entries for departed workers are discarded at pop time by a membership
     check — without it a stale heap entry would route a vote to a worker
-    that is no longer in the pool.
+    that is no longer in the pool.  :meth:`on_worker_removed` counts the
+    garbage those departures leave behind, and once dead entries outnumber
+    live ones the heap is compacted in one linear filter — so a long
+    churny marketplace run cannot grow the heap without bound.  Compaction
+    cannot change routing output: heap keys are totally ordered (the
+    worker id makes them unique), so the pop sequence is the sorted order
+    of the live entries regardless of the heap's internal layout.
     """
 
     name = "least_loaded"
@@ -282,19 +353,41 @@ class LeastLoadedRouter(BaseRouter):
             (worker.active, worker.assigned_total, worker.worker_id) for worker in pool.workers
         ]
         heapq.heapify(self._heap)
+        self._dead = 0
 
     def on_worker_added(self, worker_id: str) -> None:
         worker = self._pool[worker_id]
         heapq.heappush(self._heap, (worker.active, worker.assigned_total, worker_id))
 
+    def on_worker_removed(self, worker_id: str) -> None:
+        # The departed worker's entry is now garbage; it is either popped
+        # and discarded lazily (decrementing this counter) or swept by
+        # _maybe_compact once garbage outnumbers live entries.
+        self._dead += 1
+
+    def _maybe_compact(self) -> None:
+        if self._dead * 2 <= len(self._heap):
+            return
+        self._heap = [entry for entry in self._heap if entry[2] in self._pool]
+        heapq.heapify(self._heap)
+        self._dead = 0
+
     def route(self, domain: str, n_votes: int) -> List[str]:
         self._check_votes(n_votes)
+        self._maybe_compact()
         chosen: List[str] = []
         held_back: List[Tuple[int, int, str]] = []
         while self._heap and len(chosen) < n_votes:
             active, assigned, worker_id = heapq.heappop(self._heap)
             if worker_id not in self._pool:
                 # Stale entry for a departed worker — drop it for good.
+                self._dead = max(0, self._dead - 1)
+                continue
+            if worker_id in chosen:
+                # Duplicate entry (the worker departed and returned under
+                # the same id, leaving its old entry behind): one task must
+                # never pick the same worker twice, so park it untouched.
+                held_back.append((active, assigned, worker_id))
                 continue
             worker = self._pool[worker_id]
             if (active, assigned) != (worker.active, worker.assigned_total):
@@ -320,41 +413,112 @@ class LeastLoadedRouter(BaseRouter):
 class DomainAffinityRouter(BaseRouter):
     """Prefer the workers best qualified on the task's domain.
 
-    Fully qualified workers are ranked by qualification estimate
-    (descending), then by load, then by worker id; the fallback tier is
-    consulted only when the qualified tier cannot supply ``n_votes``
-    workers with spare capacity.
+    Within each tier candidates are ordered by the **pinned affinity
+    key** ``(-estimate, worker_id)`` (:func:`affinity_rank_key`): the
+    ranking a task sees is a pure function of qualification state, frozen
+    for the whole task — live load deliberately does not participate, so
+    the ranking cannot shift *between the votes of one task* as earlier
+    picks are charged.  The fallback tier is consulted only when the
+    qualified tier cannot supply ``n_votes`` workers with spare capacity.
+
+    Two engines produce that ranking:
+
+    ``indexed`` (default)
+        Walks pre-sorted per-(domain, tier) lists kept incrementally
+        consistent by a :class:`~repro.serving.index.DomainIndexSet` fed
+        from the pool event bus — O(votes + log n) amortised per task.
+    ``reference``
+        Re-sorts the pool's tier members per task — O(n log n), kept as
+        the obviously-correct implementation the equivalence tests hold
+        the index against.
+
+    Both check capacity live per candidate and are byte-for-byte
+    equivalent (enforced by ``tests/test_routing_equivalence.py``).
     """
 
     name = "domain_affinity"
 
-    def _ranked(self, domain: str, tier: QualificationTier) -> List[str]:
-        candidates = [
-            worker
-            for worker in self._pool.workers
-            if worker.tier_on(domain) == tier and worker.has_capacity
-        ]
-        candidates.sort(
-            key=lambda w: (-w.estimate_on(domain), w.active, w.assigned_total, w.worker_id)
-        )
-        return [worker.worker_id for worker in candidates]
+    #: Valid ``engine=`` values, default first.
+    ENGINES = ("indexed", "reference")
+
+    def __init__(
+        self,
+        pool: ServingPool,
+        min_tier: QualificationTier = QualificationTier.FALLBACK,
+        engine: str = "indexed",
+        compact_floor: int = 32,
+    ) -> None:
+        if engine not in self.ENGINES:
+            raise ValueError(
+                f"unknown routing engine {engine!r}; expected one of {', '.join(self.ENGINES)}"
+            )
+        self._engine = engine
+        # Built before the base class subscribes us to the pool: the hooks
+        # the subscription binds forward straight to this index.
+        self._index = DomainIndexSet(pool, compact_floor=compact_floor) if engine == "indexed" else None
+        super().__init__(pool, min_tier)
+
+    @property
+    def engine(self) -> str:
+        """The active ranking engine (``indexed`` or ``reference``)."""
+        return self._engine
+
+    # -- index-invalidation hooks (no-ops under the reference engine) -- #
+    def on_worker_added(self, worker_id: str) -> None:
+        if self._index is not None:
+            self._index.on_worker_added(worker_id)
+
+    def on_worker_removed(self, worker_id: str) -> None:
+        if self._index is not None:
+            self._index.on_worker_removed(worker_id)
+
+    def on_qualification_changed(self, worker_id: str, domain: str) -> None:
+        if self._index is not None:
+            self._index.on_qualification_changed(worker_id, domain)
+
+    # -- ranking -------------------------------------------------------- #
+    def _iter_tier(self, domain: str, tier: QualificationTier) -> Iterator[ServingWorker]:
+        """The tier's members in pinned affinity order, capacity unchecked."""
+        if self._index is not None:
+            return self._index.iter_tier(domain, tier)
+        candidates = [w for w in self._pool.workers if w.tier_on(domain) is tier]
+        candidates.sort(key=lambda w: affinity_rank_key(w.estimate_on(domain), w.worker_id))
+        return iter(candidates)
+
+    def _pick(self, domain: str, n_votes: int, excluded: Optional[Set[str]]) -> List[str]:
+        chosen: List[str] = []
+        for tier in (QualificationTier.QUALIFIED, QualificationTier.FALLBACK):
+            if tier < self._min_tier or len(chosen) >= n_votes:
+                break
+            for worker in self._iter_tier(domain, tier):
+                if len(chosen) >= n_votes:
+                    break
+                if excluded is not None and worker.worker_id in excluded:
+                    continue
+                if not worker.has_capacity:
+                    continue
+                self._pool.begin_assignment(worker.worker_id)
+                chosen.append(worker.worker_id)
+        return chosen
 
     def route(self, domain: str, n_votes: int) -> List[str]:
         self._check_votes(n_votes)
-        chosen: List[str] = []
-        for tier in (QualificationTier.QUALIFIED, QualificationTier.FALLBACK):
-            if tier < self._min_tier:
-                break
-            for worker_id in self._ranked(domain, tier):
-                if len(chosen) >= n_votes:
-                    break
-                self._pool.begin_assignment(worker_id)
-                chosen.append(worker_id)
-            if len(chosen) >= n_votes:
-                break
+        chosen = self._pick(domain, n_votes, excluded=None)
         if not chosen:
             raise NoEligibleWorkersError(f"no eligible worker with capacity on domain {domain!r}")
         return chosen
+
+    def route_excluding(self, domain: str, n_votes: int, exclude: Iterable[str]) -> List[str]:
+        """Native exclusion: skip excluded workers during the ranked walk.
+
+        Equivalent to the base class's over-request-and-release dance (at
+        most ``len(exclude)`` of the first ``n + len(exclude)`` ranked
+        picks can be excluded, so the surviving prefix is identical) but
+        without charging surplus assignments, which matters when a single
+        index walk replaces the per-call re-sort.
+        """
+        self._check_votes(n_votes)
+        return self._pick(domain, n_votes, excluded=set(exclude))
 
 
 register_router("round_robin", RoundRobinRouter, aliases=("rr",))
@@ -376,4 +540,5 @@ __all__ = [
     "router_names",
     "router_exists",
     "resolve_router_name",
+    "router_accepts",
 ]

@@ -32,7 +32,13 @@ from repro.platform.tasks import Task, TaskBank
 from repro.serving.aggregation import IncrementalDawidSkene, OnlineMajorityVote
 from repro.serving.pool import ServingPool
 from repro.serving.quality import DriftConfig, DriftEvent, QualityTracker
-from repro.serving.routing import NoEligibleWorkersError, make_router, resolve_router_name
+from repro.serving.routing import (
+    DomainAffinityRouter,
+    NoEligibleWorkersError,
+    make_router,
+    resolve_router_name,
+    router_accepts,
+)
 
 #: ``(worker_id, task) -> answer`` — how a routed worker answers a task.
 AnswerOracle = Callable[[str, Task], bool]
@@ -53,6 +59,13 @@ class ServingConfig:
     ----------
     router:
         Registered routing-policy name (``repro.serving.router_names()``).
+    routing_engine:
+        Ranking engine for routers that support one (``domain_affinity``):
+        ``"indexed"`` (incremental per-domain qualification indexes, the
+        default) or ``"reference"`` (per-task pool re-sort).  Both produce
+        byte-identical traces; the knob exists so the equivalence can be
+        checked and the old complexity reproduced.  Routers without an
+        ``engine`` parameter ignore it.
     votes_per_task:
         Distinct workers asked per working task.
     max_concurrent:
@@ -79,6 +92,7 @@ class ServingConfig:
     """
 
     router: str = "domain_affinity"
+    routing_engine: str = "indexed"
     votes_per_task: int = 3
     max_concurrent: int = 8
     max_assignments: Optional[int] = None
@@ -99,6 +113,11 @@ class ServingConfig:
             raise ValueError(f"unknown aggregator {self.aggregator!r}; choose from: {', '.join(_AGGREGATORS)}")
         if not 0.0 < self.reselect_fraction <= 1.0:
             raise ValueError("reselect_fraction must lie in (0, 1]")
+        if self.routing_engine not in DomainAffinityRouter.ENGINES:
+            raise ValueError(
+                f"unknown routing engine {self.routing_engine!r}; "
+                f"choose from: {', '.join(DomainAffinityRouter.ENGINES)}"
+            )
         # Resolving eagerly rejects unknown router names at config time.
         resolve_router_name(self.router)
 
@@ -215,7 +234,10 @@ class AnnotationService:
         self._answer_oracle = answer_oracle
         self._track_gold = track_gold
         self._gold_labels: Dict[str, bool] = {}
-        self._router = make_router(self._config.router, pool)
+        router_config: Dict[str, object] = {}
+        if router_accepts(self._config.router, "engine"):
+            router_config["engine"] = self._config.routing_engine
+        self._router = make_router(self._config.router, pool, **router_config)
         self._aggregator: Union[IncrementalDawidSkene, OnlineMajorityVote]
         if self._config.aggregator == "majority":
             self._aggregator = OnlineMajorityVote()
@@ -230,6 +252,14 @@ class AnnotationService:
         self._budget_exhausted = False
         self._capacity_exhausted = False
         self._elapsed_s = 0.0
+        # The service listens on the pool bus itself (besides its router):
+        # a departure drops the worker's drift streams, bounding tracker
+        # memory on churny open-world pools.
+        pool.add_listener(self)
+
+    def on_worker_removed(self, worker_id: str) -> None:
+        """Pool-bus hook: forget a departed worker's drift streams."""
+        self._tracker.forget_worker(worker_id)
 
     # ------------------------------------------------------------------ #
     @property

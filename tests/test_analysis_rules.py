@@ -399,7 +399,51 @@ class TestRouterContractC002:
                 def on_worker_removed(self, worker_id):
                     pass
 
+                def on_qualification_changed(self, worker_id, domain):
+                    pass
+
+                def on_load_changed(self, worker_id):
+                    pass
+
             register_router("fine", Fine)
+            """,
+        )
+        assert "C002" not in _active_ids(report)
+
+    def test_router_missing_new_invalidation_hooks_fires(self, tmp_path):
+        # The pre-event-bus contract (membership hooks only) is no longer
+        # enough: qualification/load changes must reach the router too.
+        report = _lint(
+            tmp_path,
+            """
+            from repro.serving.routing import register_router
+
+            class Legacy:
+                def route(self, task):
+                    return None
+
+                def on_worker_added(self, worker_id):
+                    pass
+
+                def on_worker_removed(self, worker_id):
+                    pass
+
+            register_router("legacy", Legacy)
+            """,
+        )
+        assert "C002" in _active_ids(report)
+
+    def test_router_inheriting_base_hooks_passes(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            """
+            from repro.serving.routing import BaseRouter, register_router
+
+            class Derived(BaseRouter):
+                def route(self, domain, n_votes):
+                    return []
+
+            register_router("derived", Derived)
             """,
         )
         assert "C002" not in _active_ids(report)

@@ -1,0 +1,552 @@
+"""Indexed-vs-reference routing equivalence, index internals, and churn hooks.
+
+The ``domain_affinity`` policy ships two engines: ``indexed`` (pre-sorted
+per-(domain, tier) rankings maintained from the pool event bus) and
+``reference`` (re-sort the pool per task).  These tests hold the two
+byte-identical — per pick, per report, and end-to-end through marketplace
+churn — and pin the contracts the index relies on: the pool change-event
+bus, the pinned affinity tie-break, and the lazy-delete/compaction
+bookkeeping of both the qualification indexes and the least-loaded heap.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.marketplace import ChurnConfig, MarketplaceConfig, MarketplaceOrchestrator
+from repro.marketplace.lifecycle import CampaignSpec
+from repro.platform.tasks import Task, TaskKind
+from repro.serving.index import DomainIndexSet
+from repro.serving.pool import ServingPool, ServingWorker, pool_event_noop
+from repro.serving.qualification import (
+    DomainQualification,
+    QualificationTier,
+    affinity_rank_key,
+)
+from repro.serving.quality import DriftConfig, QualityTracker
+from repro.serving.routing import (
+    BaseRouter,
+    DomainAffinityRouter,
+    NoEligibleWorkersError,
+    make_router,
+    router_accepts,
+)
+from repro.serving.service import AnnotationService, ServingConfig
+
+DOMAIN = "target"
+QUALIFIED = QualificationTier.QUALIFIED
+FALLBACK = QualificationTier.FALLBACK
+
+ROUTERS = ("round_robin", "least_loaded", "domain_affinity")
+
+
+def worker(worker_id, estimate=0.9, tier=QUALIFIED, max_concurrent=8, questions=20):
+    return ServingWorker(
+        worker_id=worker_id,
+        qualifications={
+            DOMAIN: DomainQualification(worker_id, DOMAIN, float(estimate), questions, tier)
+        },
+        max_concurrent=max_concurrent,
+    )
+
+
+def make_pool(accuracies, max_concurrent=8, tier=QUALIFIED):
+    return ServingPool(
+        [
+            worker(f"w{index}", estimate, tier=tier, max_concurrent=max_concurrent)
+            for index, estimate in enumerate(accuracies)
+        ]
+    )
+
+
+def make_task(index, domain=DOMAIN, gold=True):
+    return Task(task_id=f"t{index:04d}", domain=domain, kind=TaskKind.WORKING, gold_label=gold)
+
+
+def paired_engines(accuracies, max_concurrent=8, **router_config):
+    """Two identical pools, one routed by each engine."""
+    pools, routers = [], []
+    for engine in DomainAffinityRouter.ENGINES:
+        pool = make_pool(accuracies, max_concurrent=max_concurrent)
+        pools.append(pool)
+        routers.append(make_router("domain_affinity", pool, engine=engine, **router_config))
+    return pools, routers
+
+
+def settle(pools, picks):
+    """Complete every routed assignment so capacity churns like a real run."""
+    for pool, chosen in zip(pools, picks):
+        for worker_id in chosen:
+            pool.complete_assignment(worker_id)
+
+
+class TestEngineEquivalence:
+    def test_static_pool_picks_identical(self):
+        accuracies = [0.62, 0.95, 0.71, 0.95, 0.55, 0.88]
+        pools, (indexed, reference) = paired_engines(accuracies, max_concurrent=2)
+        for task in range(40):
+            picks = [indexed.route(DOMAIN, 3), reference.route(DOMAIN, 3)]
+            assert picks[0] == picks[1]
+            settle(pools, picks)
+        assert pools[0].load_snapshot() == pools[1].load_snapshot()
+
+    def test_equivalence_under_demotion_and_churn(self):
+        # The scripted churn the tentpole demands: demotions, departures and
+        # re-admissions interleaved with routing, both engines in lockstep.
+        accuracies = [0.5 + 0.04 * index for index in range(10)]
+        pools, routers = paired_engines(accuracies, max_concurrent=3)
+        removed = {}
+        next_id = len(accuracies)
+        for task in range(120):
+            picks = []
+            for router in routers:
+                try:
+                    picks.append(router.route(DOMAIN, 3))
+                except NoEligibleWorkersError:
+                    picks.append(None)
+            assert picks[0] == picks[1], f"engines diverged at task {task}"
+            if picks[0] is None:
+                continue
+            settle(pools, picks)
+            if task % 7 == 3:
+                for pool in pools:
+                    pool.demote(picks[0][0], DOMAIN)
+            if task % 11 == 5 and len(pools[0]) > 3:
+                victim = picks[0][-1]
+                removed[victim] = [pool.remove_worker(victim) for pool in pools]
+            if task % 13 == 8:
+                if removed:
+                    comeback, records = removed.popitem()
+                    for pool, record in zip(pools, records):
+                        pool.add_worker(record)
+                else:
+                    estimate = 0.5 + (next_id % 7) * 0.05
+                    for pool in pools:
+                        pool.add_worker(worker(f"w{next_id}", estimate, max_concurrent=3))
+                    next_id += 1
+        assert pools[0].load_snapshot() == pools[1].load_snapshot()
+
+    def test_route_excluding_identical_across_engines(self):
+        pools, (indexed, reference) = paired_engines([0.9, 0.8, 0.85, 0.7], max_concurrent=2)
+        exclude = {"w0", "w2"}
+        picks = [
+            indexed.route_excluding(DOMAIN, 2, exclude),
+            reference.route_excluding(DOMAIN, 2, exclude),
+        ]
+        assert picks[0] == picks[1] == ["w1", "w3"]
+        assert pools[0].load_snapshot() == pools[1].load_snapshot()
+
+    def test_native_route_excluding_matches_base_over_request(self):
+        # The native exclusion walk must pick exactly what the base class's
+        # over-request-and-release dance would have, without the surplus
+        # charges ever touching the pool.
+        accuracies = [0.9, 0.8, 0.85, 0.7, 0.95]
+        native_pool = make_pool(accuracies, max_concurrent=2)
+        base_pool = make_pool(accuracies, max_concurrent=2)
+        native = make_router("domain_affinity", native_pool)
+        via_base = make_router("domain_affinity", base_pool)
+        exclude = {"w4", "w0"}
+        native_picks = native.route_excluding(DOMAIN, 2, exclude)
+        base_picks = BaseRouter.route_excluding(via_base, DOMAIN, 2, exclude)
+        assert native_picks == base_picks == ["w2", "w1"]
+        assert native_pool.load_snapshot() == base_pool.load_snapshot()
+
+    def test_service_trace_byte_identical_with_mid_run_demotions(self):
+        # End-to-end through AnnotationService: a drifting worker forces
+        # demotions mid-run, and the full serialized trace — every
+        # assignment, answer, label, demotion — must not depend on engine.
+        def run(engine):
+            pool = make_pool([0.9, 0.8, 0.7], max_concurrent=8)
+            config = ServingConfig(
+                router="domain_affinity",
+                routing_engine=engine,
+                votes_per_task=3,
+                aggregator="majority",
+                drift=DriftConfig(
+                    alpha=0.2, min_observations=5, demote_below=0.5, drop_tolerance=0.3, cooldown=5
+                ),
+                reselect_fraction=1 / 3,
+            )
+
+            def oracle(worker_id, task, _state={"count": 0}):
+                _state["count"] += 1
+                if worker_id == "w0" and _state["count"] > 30:
+                    return not task.gold_label
+                return task.gold_label
+
+            service = AnnotationService(pool, config, answer_oracle=oracle)
+            report = service.serve([make_task(i) for i in range(60)])
+            assert report.demotions  # the run genuinely exercised demotion
+            return json.dumps(report.trace_dict(), sort_keys=True)
+
+        assert run("indexed") == run("reference")
+
+    def test_marketplace_run_identical_across_engines(self):
+        # Open-world churn end to end: arrivals, departures, requalification
+        # and drift all flow through the event bus, and the orchestrator
+        # report must be identical whichever engine routed every vote.
+        def run(engine):
+            orchestrator = MarketplaceOrchestrator(
+                [CampaignSpec(name="alpha", dataset="S-1", selector="us", k=5, seed=1)],
+                config=MarketplaceConfig(
+                    router="domain_affinity", routing_engine=engine, total_tasks=30
+                ),
+                churn=ChurnConfig(arrival_rate=0.8, departure_rate=0.05),
+                seed=7,
+            )
+            report = orchestrator.run(40).to_dict()
+            report.pop("elapsed_s")
+            return report
+
+        assert run("indexed") == run("reference")
+
+
+class TestChurnHooks:
+    """Membership mutations between and during routing, for every policy."""
+
+    @pytest.mark.parametrize("name", ROUTERS)
+    def test_added_worker_becomes_routable(self, name):
+        pool = make_pool([0.9, 0.8])
+        router = make_router(name, pool)
+        router.route(DOMAIN, 2)
+        pool.add_worker(worker("w9", 0.99))
+        assert "w9" in router.route(DOMAIN, 3)
+
+    @pytest.mark.parametrize("name", ROUTERS)
+    def test_removed_worker_never_routed_again(self, name):
+        pool = make_pool([0.9, 0.8, 0.7])
+        router = make_router(name, pool)
+        router.route(DOMAIN, 3)
+        removed = pool.remove_worker("w0")
+        for _ in range(4):
+            assert "w0" not in router.route(DOMAIN, 2)
+        pool.add_worker(removed)
+        assert "w0" in router.route(DOMAIN, 3)
+
+    @pytest.mark.parametrize("name", ROUTERS)
+    def test_mid_task_removal_replacement_avoids_the_departed(self, name):
+        # A vote invalidated mid-task: the departed worker's slot is
+        # released, the worker leaves, and the replacement walk must skip
+        # both the survivors and the departed id.
+        pool = make_pool([0.9, 0.8, 0.7, 0.6], max_concurrent=1)
+        router = make_router(name, pool)
+        picks = router.route(DOMAIN, 2)
+        victim, survivor = picks[0], picks[1]
+        pool.release_assignment(victim)
+        pool.remove_worker(victim)
+        replacement = router.route_excluding(DOMAIN, 1, exclude=set(picks))
+        assert len(replacement) == 1
+        assert replacement[0] not in {victim, survivor}
+
+    def test_demotion_reranks_affinity_mid_run(self):
+        pool = make_pool([0.95, 0.9, 0.85])
+        router = make_router("domain_affinity", pool)
+        assert router.route(DOMAIN, 1) == ["w0"]
+        pool.complete_assignment("w0")
+        pool.demote("w0", DOMAIN)  # QUALIFIED -> FALLBACK
+        assert pool["w0"].tier_on(DOMAIN) is FALLBACK
+        # w0 now ranks behind every qualified worker despite the top estimate.
+        assert router.route(DOMAIN, 3) == ["w1", "w2", "w0"]
+
+    def test_requalification_restores_affinity_rank(self):
+        pool = make_pool([0.95, 0.9])
+        router = make_router("domain_affinity", pool)
+        pool.demote("w0", DOMAIN)
+        assert router.route(DOMAIN, 1) == ["w1"]
+        pool.complete_assignment("w1")
+        pool.set_qualification(
+            "w0", DOMAIN, DomainQualification("w0", DOMAIN, 0.95, 20, QUALIFIED)
+        )
+        assert router.route(DOMAIN, 1) == ["w0"]
+
+
+class TestDomainIndexSet:
+    def test_iter_tier_is_pinned_affinity_order(self):
+        pool = make_pool([0.7, 0.9, 0.9, 0.8])
+        index = DomainIndexSet(pool)
+        ranked = [w.worker_id for w in index.iter_tier(DOMAIN, QUALIFIED)]
+        expected = sorted(
+            pool.worker_ids, key=lambda wid: affinity_rank_key(pool[wid].estimate_on(DOMAIN), wid)
+        )
+        assert ranked == expected == ["w1", "w2", "w3", "w0"]
+
+    def test_lazy_delete_counts_then_drops_on_read(self):
+        pool = make_pool([0.9, 0.8, 0.7])
+        index = DomainIndexSet(pool)
+        pool.add_listener(index)
+        list(index.iter_tier(DOMAIN, QUALIFIED))  # materialise
+        pool.remove_worker("w1")
+        stats = index.stats()[f"{DOMAIN}/qualified"]
+        assert stats == {"entries": 3, "dead": 1}
+        assert [w.worker_id for w in index.iter_tier(DOMAIN, QUALIFIED)] == ["w0", "w2"]
+        stats = index.stats()[f"{DOMAIN}/qualified"]
+        assert stats == {"entries": 2, "dead": 0}
+
+    def test_compaction_sweeps_garbage_at_the_floor(self):
+        pool = make_pool([0.5 + 0.01 * i for i in range(8)])
+        index = DomainIndexSet(pool, compact_floor=2)
+        pool.add_listener(index)
+        list(index.iter_tier(DOMAIN, QUALIFIED))
+        for victim in ("w0", "w1", "w2", "w3", "w4", "w5"):
+            pool.remove_worker(victim)
+        assert index.stats()[f"{DOMAIN}/qualified"] == {"entries": 8, "dead": 6}
+        # The next route compacts (dead >= floor and >= half the list)
+        # before walking a single entry.
+        assert [w.worker_id for w in index.iter_tier(DOMAIN, QUALIFIED)] == ["w7", "w6"]
+        assert index.stats()[f"{DOMAIN}/qualified"] == {"entries": 2, "dead": 0}
+
+    def test_compact_floor_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DomainIndexSet(make_pool([0.9]), compact_floor=0)
+
+    def test_qualification_change_moves_entry_between_tiers(self):
+        pool = make_pool([0.9, 0.8])
+        index = DomainIndexSet(pool)
+        pool.add_listener(index)
+        list(index.iter_tier(DOMAIN, QUALIFIED))
+        pool.demote("w0", DOMAIN)
+        assert [w.worker_id for w in index.iter_tier(DOMAIN, QUALIFIED)] == ["w1"]
+        assert [w.worker_id for w in index.iter_tier(DOMAIN, FALLBACK)] == ["w0"]
+
+    def test_estimate_change_rewrites_rank(self):
+        pool = make_pool([0.9, 0.8])
+        index = DomainIndexSet(pool)
+        pool.add_listener(index)
+        list(index.iter_tier(DOMAIN, QUALIFIED))
+        pool.set_qualification(
+            "w1", DOMAIN, DomainQualification("w1", DOMAIN, 0.99, 20, QUALIFIED)
+        )
+        assert [w.worker_id for w in index.iter_tier(DOMAIN, QUALIFIED)] == ["w1", "w0"]
+
+    def test_arrival_indexed_on_every_materialised_domain(self):
+        pool = make_pool([0.9])
+        index = DomainIndexSet(pool)
+        pool.add_listener(index)
+        list(index.iter_tier(DOMAIN, QUALIFIED))
+        pool.add_worker(worker("w9", 0.95))
+        assert [w.worker_id for w in index.iter_tier(DOMAIN, QUALIFIED)] == ["w9", "w0"]
+
+    def test_capacity_is_never_indexed(self):
+        # Load changes must not touch the index at all — capacity is read
+        # live by the router, and on_load_changed is a pinned no-op.
+        pool = make_pool([0.9, 0.8], max_concurrent=1)
+        index = DomainIndexSet(pool)
+        pool.add_listener(index)
+        list(index.iter_tier(DOMAIN, QUALIFIED))
+        before = index.stats()
+        pool.begin_assignment("w0")
+        pool.complete_assignment("w0")
+        assert index.stats() == before
+        # A saturated worker still appears in the ranking (the router skips it).
+        pool.begin_assignment("w0")
+        assert [w.worker_id for w in index.iter_tier(DOMAIN, QUALIFIED)] == ["w0", "w1"]
+
+
+class TestPoolEventBus:
+    class Recorder:
+        def __init__(self):
+            self.events = []
+
+        def on_worker_added(self, worker_id):
+            self.events.append(("added", worker_id))
+
+        def on_worker_removed(self, worker_id):
+            self.events.append(("removed", worker_id))
+
+        def on_qualification_changed(self, worker_id, domain):
+            self.events.append(("qualification", worker_id, domain))
+
+        def on_load_changed(self, worker_id):
+            self.events.append(("load", worker_id))
+
+    def test_every_mutation_reaches_the_bus(self):
+        pool = make_pool([0.9, 0.8])
+        recorder = self.Recorder()
+        pool.add_listener(recorder)
+        pool.begin_assignment("w0")
+        pool.complete_assignment("w0")
+        pool.begin_assignment("w1")
+        pool.release_assignment("w1")
+        pool.demote("w0", DOMAIN)
+        pool.add_worker(worker("w9"))
+        pool.remove_worker("w9")
+        assert recorder.events == [
+            ("load", "w0"),
+            ("load", "w0"),
+            ("load", "w1"),
+            ("load", "w1"),
+            ("qualification", "w0", DOMAIN),
+            ("added", "w9"),
+            ("removed", "w9"),
+        ]
+
+    def test_qualification_event_requires_a_real_change(self):
+        pool = make_pool([0.9])
+        recorder = self.Recorder()
+        pool.add_listener(recorder)
+        # Same tier, same estimate: set_qualification stays silent.
+        pool.set_qualification(
+            "w0", DOMAIN, DomainQualification("w0", DOMAIN, 0.9, 20, QUALIFIED)
+        )
+        assert recorder.events == []
+        pool.set_qualification(
+            "w0", DOMAIN, DomainQualification("w0", DOMAIN, 0.95, 20, QUALIFIED)
+        )
+        assert recorder.events == [("qualification", "w0", DOMAIN)]
+
+    def test_notify_qualification_changed_ignores_non_members(self):
+        pool = make_pool([0.9])
+        recorder = self.Recorder()
+        pool.add_listener(recorder)
+        pool.notify_qualification_changed("stranger", DOMAIN)
+        assert recorder.events == []
+        pool.notify_qualification_changed("w0", DOMAIN)
+        assert recorder.events == [("qualification", "w0", DOMAIN)]
+
+    def test_noop_marked_hooks_are_never_called(self):
+        calls = []
+
+        class Listener:
+            @pool_event_noop
+            def on_load_changed(self, worker_id):
+                calls.append(worker_id)
+
+            def on_worker_added(self, worker_id):
+                calls.append(("added", worker_id))
+
+        pool = make_pool([0.9])
+        pool.add_listener(Listener())
+        pool.begin_assignment("w0")
+        pool.add_worker(worker("w9"))
+        assert calls == [("added", "w9")]
+
+    def test_discard_listener_stops_dispatch(self):
+        pool = make_pool([0.9])
+        recorder = self.Recorder()
+        pool.add_listener(recorder)
+        pool.discard_listener(recorder)
+        pool.begin_assignment("w0")
+        pool.add_worker(worker("w9"))
+        assert recorder.events == []
+
+
+class TestLeastLoadedCompaction:
+    @staticmethod
+    def churn_script(router, pool):
+        """Routes interleaved with heavy departures; returns every pick."""
+        picks = []
+        next_id = len(pool)
+        for step in range(60):
+            chosen = router.route(DOMAIN, 2)
+            picks.append(chosen)
+            for worker_id in chosen:
+                pool.complete_assignment(worker_id)
+            if step % 2 == 0 and len(pool) > 3:
+                standing = [wid for wid in pool.worker_ids if wid not in chosen]
+                pool.remove_worker(standing[step % len(standing)])
+            if step % 3 == 0:
+                pool.add_worker(worker(f"w{next_id}", 0.8, max_concurrent=8))
+                next_id += 1
+        return picks
+
+    def test_compaction_does_not_change_routing_output(self):
+        compacting_pool = make_pool([0.9] * 8)
+        lazy_pool = make_pool([0.9] * 8)
+        compacting = make_router("least_loaded", compacting_pool)
+        lazy = make_router("least_loaded", lazy_pool)
+        lazy._maybe_compact = lambda: None  # garbage only ever popped lazily
+        assert self.churn_script(compacting, compacting_pool) == self.churn_script(lazy, lazy_pool)
+        assert compacting_pool.load_snapshot() == lazy_pool.load_snapshot()
+
+    def test_heap_garbage_stays_bounded_under_churn(self):
+        pool = make_pool([0.9] * 8)
+        router = make_router("least_loaded", pool)
+        self.churn_script(router, pool)
+        # Dead entries can never outnumber live ones after a route: the
+        # compaction trigger fires first.
+        assert len(router._heap) <= 2 * len(pool) + 1
+        assert router._dead * 2 <= len(router._heap) + 1
+
+
+class TestPinnedTieBreak:
+    def test_load_never_participates_in_affinity_ranking(self):
+        # Equal estimates: worker id alone breaks the tie, even when the
+        # lexically-first worker is far more loaded.
+        pool = make_pool([0.9, 0.9, 0.9], max_concurrent=8)
+        for _ in range(5):
+            pool.begin_assignment("w0")
+        router = make_router("domain_affinity", pool)
+        assert router.route(DOMAIN, 3) == ["w0", "w1", "w2"]
+
+    def test_ranking_frozen_across_the_votes_of_one_task(self):
+        # Charging the first vote must not re-rank the remaining votes —
+        # the ranking is a pure function of qualification state.
+        for engine in DomainAffinityRouter.ENGINES:
+            fresh = make_pool([0.9, 0.9], max_concurrent=8)
+            router = make_router("domain_affinity", fresh, engine=engine)
+            assert router.route(DOMAIN, 2) == ["w0", "w1"]
+
+    def test_saturated_top_worker_spills_to_next_rank(self):
+        pool = make_pool([0.95, 0.9], max_concurrent=1)
+        router = make_router("domain_affinity", pool)
+        assert router.route(DOMAIN, 1) == ["w0"]
+        assert router.route(DOMAIN, 1) == ["w1"]
+
+
+class TestTrackerForget:
+    def test_forget_worker_drops_streams_not_history(self):
+        tracker = QualityTracker(DriftConfig(min_observations=2))
+        for _ in range(4):
+            tracker.observe("w0", DOMAIN, True)
+        assert tracker.ewma("w0", DOMAIN) is not None
+        tracker.forget_worker("w0")
+        assert tracker.ewma("w0", DOMAIN) is None
+        assert tracker.baseline("w0", DOMAIN) is None
+        assert tracker.snapshot() == {}
+
+    def test_service_forgets_departed_workers(self):
+        pool = make_pool([0.9, 0.8, 0.7])
+        service = AnnotationService(
+            pool,
+            ServingConfig(
+                router="round_robin",
+                votes_per_task=3,
+                drift=DriftConfig(min_observations=2),
+            ),
+        )
+        for index in range(3):
+            assignment = service.submit(make_task(index))
+            for worker_id in assignment.worker_ids:
+                service.record_answer(assignment.task_id, worker_id, True)
+        assert service.tracker.ewma("w0", DOMAIN) is not None
+        pool.remove_worker("w0")
+        assert service.tracker.ewma("w0", DOMAIN) is None
+
+
+class TestEngineConfiguration:
+    def test_serving_config_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            ServingConfig(routing_engine="bogus")
+
+    def test_router_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            make_router("domain_affinity", make_pool([0.9]), engine="bogus")
+
+    def test_marketplace_config_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            MarketplaceConfig(routing_engine="bogus")
+
+    def test_engine_knob_forwarded_only_where_understood(self):
+        assert router_accepts("domain_affinity", "engine")
+        assert not router_accepts("round_robin", "engine")
+        assert not router_accepts("least_loaded", "engine")
+
+    def test_reference_engine_carries_no_index(self):
+        router = make_router("domain_affinity", make_pool([0.9]), engine="reference")
+        assert router.engine == "reference"
+        assert router._index is None
+        indexed = make_router("domain_affinity", make_pool([0.9]))
+        assert indexed.engine == "indexed"
+        assert isinstance(indexed._index, DomainIndexSet)
