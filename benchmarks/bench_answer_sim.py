@@ -22,7 +22,6 @@ The machine-readable output seeds the repo's perf trajectory
 ``schema_version``.
 """
 
-# repro: allow-file[D002] -- benchmark timing loops read perf_counter by design
 
 from __future__ import annotations
 
@@ -30,11 +29,11 @@ import argparse
 import json
 import platform
 import sys
-import time
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs.timing import perf_counter
 from repro.platform.budget import compute_budget
 from repro.platform.session import AnnotationEnvironment
 from repro.platform.tasks import TaskBank, generate_task_bank
@@ -106,10 +105,10 @@ def time_engine(
     per_round: List[float] = []
     for _ in range(repeats):
         environment = make_environment(pool, bank, engine, tasks_per_worker, n_rounds)
-        start = time.perf_counter()
+        start = perf_counter()
         for round_index in range(1, n_rounds + 1):
             environment.run_learning_round(environment.worker_ids, tasks_per_worker, round_index=round_index)
-        per_round.append((time.perf_counter() - start) / n_rounds)
+        per_round.append((perf_counter() - start) / n_rounds)
     return min(per_round)
 
 

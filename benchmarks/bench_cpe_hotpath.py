@@ -19,7 +19,6 @@ The machine-readable output seeds the repo's perf trajectory
 ``schema_version``.
 """
 
-# repro: allow-file[D002] -- benchmark timing loops read perf_counter by design
 
 from __future__ import annotations
 
@@ -27,12 +26,12 @@ import argparse
 import json
 import platform
 import sys
-import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.cpe import CPEConfig, CrossDomainPerformanceEstimator
+from repro.obs.timing import perf_counter
 
 SCHEMA_VERSION = 1
 
@@ -80,12 +79,12 @@ def time_engine(
     for _ in range(repeats):
         estimator = make_estimator(engine, n_epochs)
         estimator.initialize(profiles)
-        start = time.perf_counter()
+        start = perf_counter()
         estimator.update(profiles, correct, wrong)
-        update_times.append(time.perf_counter() - start)
-        start = time.perf_counter()
+        update_times.append(perf_counter() - start)
+        start = perf_counter()
         estimator.predict(profiles, correct, wrong)
-        predict_times.append(time.perf_counter() - start)
+        predict_times.append(perf_counter() - start)
     return {"update_s": min(update_times), "predict_s": min(predict_times)}
 
 

@@ -8,7 +8,10 @@ Times the two marketplace hot paths in isolation:
   journal on disk;
 * **journal** — durable ``append_ticks`` latency across tick-batch
   sizes, showing how batching amortises the per-append fsync without
-  changing the journal bytes.
+  changing the journal bytes;
+* **telemetry overhead** — journaled orchestration with telemetry off
+  vs on (interleaved arms, best-of-repeats per arm).  ``--max-overhead-pct``
+  turns the measured loss into a regression gate.
 
 Run it as a script (the pytest suite does not collect it):
 
@@ -21,7 +24,6 @@ The machine-readable output seeds the repo's perf trajectory
 ``schema_version``.
 """
 
-# repro: allow-file[D002] -- benchmark timing loops read perf_counter by design
 
 from __future__ import annotations
 
@@ -30,7 +32,6 @@ import json
 import platform
 import sys
 import tempfile
-import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
@@ -43,15 +44,17 @@ from repro.marketplace import (
     MarketplaceConfig,
     MarketplaceOrchestrator,
 )
+from repro.obs import create_telemetry
+from repro.obs.timing import perf_counter
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 DEFAULT_CAMPAIGN_COUNTS = (1, 2, 4)
 BENCH_DATASETS = ("S-1", "S-2")
 
 
 def build_orchestrator(
-    n_campaigns: int, n_ticks: int, journal_path: Optional[Path], seed: int
+    n_campaigns: int, n_ticks: int, journal_path: Optional[Path], seed: int, telemetry=None
 ) -> MarketplaceOrchestrator:
     """A benchmark marketplace: every campaign keeps serving for the whole run."""
     tasks_per_tick = 2
@@ -71,6 +74,7 @@ def build_orchestrator(
         churn=ChurnConfig(arrival_rate=0.5, departure_rate=0.02),
         journal_path=journal_path,
         seed=seed,
+        telemetry=telemetry,
     )
 
 
@@ -83,13 +87,43 @@ def time_orchestrator(
         for repeat in range(repeats):
             journal_path = Path(tmp) / f"bench{repeat}.jsonl" if journaled else None
             orchestrator = build_orchestrator(n_campaigns, n_ticks, journal_path, seed=repeat)
-            start = time.perf_counter()
+            start = perf_counter()
             orchestrator.run(n_ticks, tick_batch=8)
-            times.append(time.perf_counter() - start)
+            times.append(perf_counter() - start)
     best = min(times)
     return {
         "run_s": best,
         "ticks_per_second": n_ticks / best if best > 0 else float("inf"),
+    }
+
+
+def time_telemetry_overhead(n_campaigns: int, n_ticks: int, repeats: int) -> Dict[str, object]:
+    """Journaled orchestration throughput with telemetry off vs on.
+
+    The two arms are interleaved inside each repeat so drift (cache
+    warmth, CPU frequency) hits both equally; best-of-repeats is kept
+    per arm.
+    """
+    best: Dict[str, float] = {"off": float("inf"), "on": float("inf")}
+    with tempfile.TemporaryDirectory() as tmp:
+        for repeat in range(repeats):
+            for arm in ("off", "on"):
+                journal_path = Path(tmp) / f"overhead-{arm}{repeat}.jsonl"
+                telemetry = create_telemetry() if arm == "on" else None
+                orchestrator = build_orchestrator(
+                    n_campaigns, n_ticks, journal_path, seed=repeat, telemetry=telemetry
+                )
+                start = perf_counter()
+                orchestrator.run(n_ticks, tick_batch=8)
+                best[arm] = min(best[arm], perf_counter() - start)
+    off_tps = n_ticks / best["off"] if best["off"] > 0 else float("inf")
+    on_tps = n_ticks / best["on"] if best["on"] > 0 else float("inf")
+    return {
+        "campaigns": n_campaigns,
+        "n_ticks": n_ticks,
+        "off_ticks_per_second": off_tps,
+        "on_ticks_per_second": on_tps,
+        "overhead_pct": 100.0 * (off_tps - on_tps) / off_tps if off_tps > 0 else 0.0,
     }
 
 
@@ -116,10 +150,10 @@ def time_journal(n_records: int, tick_batch: int, repeats: int) -> Dict[str, flo
         for repeat in range(repeats):
             journal = EventJournal(Path(tmp) / f"journal{repeat}.jsonl")
             journal.begin({"bench": True})
-            start = time.perf_counter()
+            start = perf_counter()
             for offset in range(0, n_records, tick_batch):
                 journal.append_ticks(records[offset : offset + tick_batch])
-            times.append(time.perf_counter() - start)
+            times.append(perf_counter() - start)
     best = min(times)
     return {
         "append_s": best,
@@ -151,6 +185,14 @@ def run_benchmark(
             f"({result['fsyncs']} fsyncs)",
             file=sys.stderr,
         )
+    overhead = time_telemetry_overhead(max(campaign_counts), n_ticks, repeats)
+    print(
+        f"  telemetry overhead campaigns={overhead['campaigns']} "
+        f"off {overhead['off_ticks_per_second']:>10,.0f} ticks/s, "
+        f"on {overhead['on_ticks_per_second']:>10,.0f} ticks/s "
+        f"({overhead['overhead_pct']:+.2f}%)",
+        file=sys.stderr,
+    )
     return {
         "schema_version": SCHEMA_VERSION,
         "config": {
@@ -166,6 +208,7 @@ def run_benchmark(
         },
         "orchestration": orchestration,
         "journal": journal,
+        "telemetry_overhead": overhead,
     }
 
 
@@ -175,6 +218,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--ticks", type=int, default=150, help="ticks per orchestration cell")
     parser.add_argument("--repeats", type=int, default=3, help="timing repeats (best is kept)")
     parser.add_argument("--records", type=int, default=512, help="records appended per journal cell")
+    parser.add_argument(
+        "--max-overhead-pct",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help=(
+            "regression gate: exit non-zero when enabled-telemetry orchestration "
+            "throughput loses more than this percentage"
+        ),
+    )
     parser.add_argument("--output", default="BENCH_marketplace.json", help="JSON output path")
     args = parser.parse_args(argv)
 
@@ -188,6 +241,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"wrote {args.output}", file=sys.stderr)
+    if args.max_overhead_pct is not None:
+        worst = payload["telemetry_overhead"]["overhead_pct"]  # type: ignore[index]
+        if worst > args.max_overhead_pct:
+            print(
+                f"regression gate FAILED: telemetry overhead {worst:.2f}% "
+                f"exceeds maximum {args.max_overhead_pct}%",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"regression gate passed: telemetry overhead {worst:.2f}% "
+            f"<= {args.max_overhead_pct}%",
+            file=sys.stderr,
+        )
     return 0
 
 

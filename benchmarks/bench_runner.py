@@ -22,7 +22,6 @@ matters when reading the numbers: process sharding cannot beat serial on a
 single-core host, so speedups there sit at ~1x regardless of ``n_jobs``.
 """
 
-# repro: allow-file[D002] -- benchmark timing loops read perf_counter by design
 
 from __future__ import annotations
 
@@ -31,13 +30,13 @@ import json
 import os
 import platform
 import sys
-import time
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.config import METHOD_ORDER, ExperimentConfig
 from repro.experiments.runner import DatasetResult, plan_work_units, run_method_comparison
+from repro.obs.timing import perf_counter
 
 SCHEMA_VERSION = 1
 
@@ -73,9 +72,9 @@ def run_benchmark(
     serial_projection: Optional[Dict[str, object]] = None
     results: List[Dict[str, object]] = []
     for n_jobs in jobs:
-        start = time.perf_counter()
+        start = perf_counter()
         run = run_method_comparison(datasets, config=config, methods=methods, n_jobs=n_jobs)
-        wall = time.perf_counter() - start
+        wall = perf_counter() - start
         projection = _comparable(run)
         if serial_wall is None:
             serial_wall, serial_projection = wall, projection

@@ -11,7 +11,13 @@ Times the two serving hot paths in isolation:
   removed and the fact that it is gone;
 * **aggregation** — per-answer ``add()`` latency of the streaming
   majority vote and the incremental Dawid-Skene, plus the cost of the
-  exact EM replay (``converge``).
+  exact EM replay (``converge``);
+* **telemetry overhead** — the routing loop timed with telemetry off and
+  on (interleaved arms, best of repeats), reported as the percent of
+  routed-tasks/s the instrumentation costs.  Passing
+  ``--max-overhead-pct`` turns the worst measured cell into a regression
+  gate, which is how CI pins the "near-zero-overhead" telemetry claim
+  (the acceptance bar is <= 3% at 10k workers).
 
 Besides raw cells the payload carries per-policy **throughput-flatness
 ratios** (min/max tasks-per-second across the benched pool sizes — 1.0 is
@@ -40,7 +46,6 @@ within 10% across 640 -> 10k -> 100k workers and within 2x of
 ``least_loaded`` at every size.
 """
 
-# repro: allow-file[D002] -- benchmark timing loops read perf_counter by design
 
 from __future__ import annotations
 
@@ -49,11 +54,11 @@ import gc
 import json
 import platform
 import sys
-import time
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs.timing import perf_counter
 from repro.serving.aggregation import IncrementalDawidSkene, OnlineMajorityVote
 from repro.serving.pool import ServingPool, ServingWorker
 from repro.serving.qualification import DomainQualification, QualificationTier
@@ -64,9 +69,13 @@ from repro.serving.routing import (
     router_names,
 )
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 DEFAULT_POOL_SIZES = (40, 160, 640, 10_000, 100_000)
+#: Pool sizes the telemetry on/off arms are compared at.
+DEFAULT_OVERHEAD_POOL_SIZES = (10_000,)
+#: Routing policy the telemetry overhead is measured on.
+OVERHEAD_POLICY = "least_loaded"
 DEFAULT_DOMAIN = "target"
 #: Fraction of workers landing in the fallback tier, so tier filtering is
 #: exercised instead of idled.
@@ -188,18 +197,59 @@ def time_routing(
         # otherwise dominate the timing and masquerade as a routing cliff.
         gc.collect()
         gc.freeze()
-        start = time.perf_counter()
+        start = perf_counter()
         for _ in range(n_tasks):
             chosen = router.route(DEFAULT_DOMAIN, votes)
             for worker_id in chosen:
                 pool.complete_assignment(worker_id)
-        times.append(time.perf_counter() - start)
+        times.append(perf_counter() - start)
         gc.unfreeze()
     best = min(times)
     return {
         "route_s": best,
         "n_tasks": n_tasks,
         "tasks_per_second": n_tasks / best if best > 0 else float("inf"),
+    }
+
+
+def time_telemetry_overhead(
+    n_workers: int, n_tasks: int, votes: int, repeats: int
+) -> Dict[str, float]:
+    """Routing throughput with telemetry off vs on, interleaved arms.
+
+    Both arms run the identical loop; the "on" arm binds a live
+    :class:`repro.obs.Telemetry` to the router first, so the measured gap
+    is exactly the per-route counter/latency-sampling cost.  Arms are
+    interleaved within each repeat and the best time per arm is kept, so
+    ambient machine noise hits both sides alike.
+    """
+    from repro.obs import create_telemetry
+
+    times: Dict[str, List[float]] = {"off": [], "on": []}
+    for repeat in range(repeats):
+        for arm in ("off", "on"):
+            pool = build_pool(n_workers, seed=repeat)
+            router = make_router(OVERHEAD_POLICY, pool)
+            if arm == "on":
+                router.bind_telemetry(create_telemetry())
+            gc.collect()
+            gc.freeze()
+            start = perf_counter()
+            for _ in range(n_tasks):
+                chosen = router.route(DEFAULT_DOMAIN, votes)
+                for worker_id in chosen:
+                    pool.complete_assignment(worker_id)
+            times[arm].append(perf_counter() - start)
+            gc.unfreeze()
+    off_s, on_s = min(times["off"]), min(times["on"])
+    off_tps = n_tasks / off_s if off_s > 0 else float("inf")
+    on_tps = n_tasks / on_s if on_s > 0 else float("inf")
+    return {
+        "pool_size": n_workers,
+        "n_tasks": n_tasks,
+        "off_tasks_per_second": off_tps,
+        "on_tasks_per_second": on_tps,
+        "overhead_pct": 100.0 * (off_tps - on_tps) / off_tps if off_tps > 0 else 0.0,
     }
 
 
@@ -219,20 +269,20 @@ def time_aggregation(n_answers: int, n_tasks: int, n_workers: int, seed: int = 0
         stream.append((f"t{t:05d}", f"w{w:06d}", bool(a)))
 
     majority = OnlineMajorityVote()
-    start = time.perf_counter()
+    start = perf_counter()
     for task_id, worker_id, answer in stream:
         majority.add(task_id, worker_id, answer)
-    majority_s = time.perf_counter() - start
+    majority_s = perf_counter() - start
 
     dawid_skene = IncrementalDawidSkene()
-    start = time.perf_counter()
+    start = perf_counter()
     for task_id, worker_id, answer in stream:
         dawid_skene.add(task_id, worker_id, answer)
-    dawid_skene_s = time.perf_counter() - start
+    dawid_skene_s = perf_counter() - start
 
-    start = time.perf_counter()
+    start = perf_counter()
     dawid_skene.converge()
-    converge_s = time.perf_counter() - start
+    converge_s = perf_counter() - start
 
     n = len(stream)
     return {
@@ -292,6 +342,7 @@ def run_benchmark(
     n_answers: int,
     reference_tasks: int = DEFAULT_REFERENCE_TASKS,
     reference_max_pool: int = DEFAULT_REFERENCE_MAX_POOL,
+    overhead_pool_sizes: Sequence[int] = DEFAULT_OVERHEAD_POOL_SIZES,
 ) -> Dict[str, object]:
     """The full benchmark payload."""
     compared = check_engine_equivalence(min(pool_sizes), n_tasks=min(n_tasks, 500), votes=votes)
@@ -324,6 +375,17 @@ def run_benchmark(
                     f"{result['tasks_per_second']:>12,.0f} tasks/s",
                     file=sys.stderr,
                 )
+    overhead_cells: List[Dict[str, object]] = []
+    for n_workers in overhead_pool_sizes:
+        cell = time_telemetry_overhead(n_workers, n_tasks, votes, repeats)
+        overhead_cells.append(cell)
+        print(
+            f"  telemetry overhead pool={n_workers:<6} "
+            f"off {cell['off_tasks_per_second']:>12,.0f} tasks/s, "
+            f"on {cell['on_tasks_per_second']:>12,.0f} tasks/s "
+            f"({cell['overhead_pct']:+.2f}%)",
+            file=sys.stderr,
+        )
     aggregation = time_aggregation(n_answers, n_tasks=max(n_answers // 5, 1), n_workers=max(pool_sizes))
     return {
         "schema_version": SCHEMA_VERSION,
@@ -335,6 +397,7 @@ def run_benchmark(
             "n_answers": n_answers,
             "reference_tasks": reference_tasks,
             "reference_max_pool": reference_max_pool,
+            "overhead_pool_sizes": list(overhead_pool_sizes),
         },
         "environment": {
             "python": platform.python_version(),
@@ -344,6 +407,11 @@ def run_benchmark(
         "routing": routing,
         "throughput_flatness": _flatness(routing),
         "affinity_vs_least_loaded": _affinity_ratios(routing),
+        "telemetry_overhead": {
+            "policy": OVERHEAD_POLICY,
+            "cells": overhead_cells,
+            "max_overhead_pct": max(float(cell["overhead_pct"]) for cell in overhead_cells),
+        },
         "aggregation": aggregation,
     }
 
@@ -377,6 +445,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "at the largest benched pool is below this fraction of least_loaded"
         ),
     )
+    parser.add_argument(
+        "--overhead-pools",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_OVERHEAD_POOL_SIZES),
+        help="pool sizes for the telemetry on/off overhead cells (default 10000)",
+    )
+    parser.add_argument(
+        "--max-overhead-pct",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help=(
+            "regression gate: exit non-zero when enabled-telemetry routing "
+            "throughput loses more than this percentage in any overhead cell"
+        ),
+    )
     parser.add_argument("--output", default="BENCH_serving.json", help="JSON output path")
     args = parser.parse_args(argv)
 
@@ -388,6 +473,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         n_answers=args.answers,
         reference_tasks=args.reference_tasks,
         reference_max_pool=args.reference_max_pool,
+        overhead_pool_sizes=args.overhead_pools,
     )
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
@@ -410,6 +496,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(
             f"regression gate passed: affinity/least_loaded ratio {ratio:.3f} "
             f">= {args.min_affinity_ratio}",
+            file=sys.stderr,
+        )
+    if args.max_overhead_pct is not None:
+        overhead = payload["telemetry_overhead"]
+        worst = overhead["max_overhead_pct"]  # type: ignore[index]
+        if worst > args.max_overhead_pct:
+            print(
+                f"regression gate FAILED: telemetry overhead {worst:.2f}% "
+                f"exceeds maximum {args.max_overhead_pct}%",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"regression gate passed: telemetry overhead {worst:.2f}% "
+            f"<= {args.max_overhead_pct}%",
             file=sys.stderr,
         )
     return 0

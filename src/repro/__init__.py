@@ -44,6 +44,12 @@ Above single-campaign serving sits the marketplace layer
 runs several campaigns concurrently against one shared, churning worker
 marketplace under a deterministic, crash-recoverable journaled tick loop.
 
+Both layers emit into a deterministic telemetry core (:mod:`repro.obs`):
+pass ``create_telemetry()`` into ``serve``/the orchestrator and read back
+byte-stable, schema-versioned metrics snapshots (``repro-crowd metrics``
+lists the catalog).  Telemetry is off by default and never changes a
+run's outputs.
+
 Worker *behaviours* have their own registry (``repro.behavior_names()``,
 ``@register_behavior``): beyond the paper's learning workers, pools can be
 contaminated with spammers, adversarial, fatigued, sleeper and drifting
@@ -145,7 +151,7 @@ from repro.workers import (
     register_behavior,
 )
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "__version__",

@@ -22,14 +22,18 @@ The rule pack (see ``repro-crowd lint --list-rules``):
   membership hooks (C002), selector factories take ``seed`` (C003),
   payload writers in schema-versioned modules stamp ``schema_version``
   (C004).
+* **O-rules** — observability: metric registrations must use the
+  :mod:`repro.obs.naming` grammar, computed names via ``metric_name``
+  (O001).
 * **S-rules** — safety: mutable default arguments (S001), swallowed
   bare/``Exception`` handlers (S002).
 * **Engine rules** — malformed suppression pragmas (P001/P002) and parse
   failures (E001).
 
-Intentional violations are waived at the site with a mandatory reason::
+Intentional violations are waived at the site with a mandatory reason
+(e.g. the one wall-clock module the whole tree funnels through)::
 
-    start = time.perf_counter()  # repro: allow[D002] -- bench timing loop
+    # repro: allow-file[D002] -- the single blessed wall-clock site
 
 Custom rules plug in through the registry, mirroring
 :mod:`repro.core.registry`::

@@ -148,6 +148,7 @@ def _load_builtin_rules() -> None:
     import repro.analysis.pragmas  # noqa: F401  (registers P001, P002)
     import repro.analysis.rules_contracts  # noqa: F401  (registers C001-C004)
     import repro.analysis.rules_determinism  # noqa: F401  (registers D001-D005)
+    import repro.analysis.rules_observability  # noqa: F401  (registers O001)
     import repro.analysis.rules_safety  # noqa: F401  (registers E001, S001, S002)
 
     _BUILTINS_LOADED = True

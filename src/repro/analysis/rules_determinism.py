@@ -5,7 +5,7 @@ journals, order-independent shards — rests on a handful of coding
 invariants that no generic linter checks.  The D-rules encode them:
 
 ``D001`` global or unseeded RNG outside :mod:`repro.stats.rng`
-``D002`` wall-clock / timing calls (pragma the timing-report sites)
+``D002`` wall-clock / timing calls outside :mod:`repro.obs.timing`
 ``D003`` ``json.dumps``/``json.dump`` without ``sort_keys=True``
 ``D004`` file writes in journal/store modules not paired with ``os.fsync``
 ``D005`` iteration over a ``set`` expression (unordered -> irreproducible)
@@ -48,8 +48,8 @@ STDLIB_RANDOM_FNS = frozenset(
 )
 
 #: Non-deterministic clock reads.  The monotonic timers are listed too:
-#: they are legitimate *only* in timing-report contexts (bench loops,
-#: ``elapsed_s`` report fields), which declare themselves with a pragma.
+#: they are legitimate *only* behind :mod:`repro.obs.timing` (the single
+#: file-waived site), whose wrappers timing-report code imports instead.
 CLOCK_CALLS = frozenset(
     {
         "time.time", "time.time_ns", "time.localtime", "time.gmtime",
@@ -150,7 +150,7 @@ class WallClockRule(BaseRule):
     name = "wall-clock"
     severity = Severity.ERROR
     description = (
-        "wall-clock or timer call; timing-report contexts declare themselves with a pragma"
+        "direct wall-clock or timer call; go through repro.obs.timing (the one waived site)"
     )
 
     def check(self, module: ModuleContext, project: ProjectIndex) -> Iterator[Finding]:
@@ -162,9 +162,9 @@ class WallClockRule(BaseRule):
                 yield self.finding(
                     module,
                     node,
-                    f"clock read '{qualified}' is non-deterministic; if this is a "
-                    f"timing-report context, suppress with "
-                    f"'# repro: allow[{self.rule_id}] -- <why>'",
+                    f"clock read '{qualified}' is non-deterministic; import the clock "
+                    f"from repro.obs.timing (the one blessed wall-clock module) so "
+                    f"timing stays out of engine state",
                 )
 
 

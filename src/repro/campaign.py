@@ -466,6 +466,7 @@ class Campaign:
         *,
         qualification: Optional[QualificationPolicy] = None,
         answer_oracle: Optional[AnswerOracle] = None,
+        telemetry=None,
         **overrides: object,
     ) -> AnnotationService:
         """Build the serving layer from this campaign's finished selection.
@@ -489,6 +490,10 @@ class Campaign:
             worker at its fully trained latent accuracy, drawing from a
             stream derived from the campaign seed and the serving seed —
             same seed and routing policy ⇒ identical trace and labels.
+        telemetry:
+            Optional :class:`repro.obs.Telemetry` bundle the service
+            reports metrics through (kept out of ``ServingConfig`` so
+            observing a run never changes its trace).
         """
         if config is not None and overrides:
             raise ValueError("pass either a full ServingConfig or keyword overrides, not both")
@@ -513,7 +518,7 @@ class Campaign:
                 correct = bool(generator.uniform() < final_accuracies[worker_id])
                 return task.gold_label if correct else not task.gold_label
 
-        return AnnotationService(pool, resolved, answer_oracle=answer_oracle)
+        return AnnotationService(pool, resolved, answer_oracle=answer_oracle, telemetry=telemetry)
 
     def selection_manifest(self) -> SelectionManifest:
         """Summarise the finished selection for the serving/marketplace layer.
@@ -563,6 +568,7 @@ class Campaign:
         *,
         qualification: Optional[QualificationPolicy] = None,
         answer_oracle: Optional[AnswerOracle] = None,
+        telemetry=None,
         **overrides: object,
     ) -> ServingReport:
         """Serve ``n_tasks`` working tasks through the selected pool.
@@ -576,6 +582,7 @@ class Campaign:
             config,
             qualification=qualification,
             answer_oracle=answer_oracle,
+            telemetry=telemetry,
             **overrides,
         )
         tasks = working_task_stream(self._instance.task_bank, n_tasks)

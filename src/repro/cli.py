@@ -310,6 +310,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenarios_parser.add_argument("--json", action="store_true", help="print the list as JSON")
 
+    metrics_parser = subparsers.add_parser(
+        "metrics",
+        help="list the telemetry metric catalog",
+        description=(
+            "Print the static metric catalog: every counter, gauge and "
+            "histogram an instrumented run can emit (enable collection "
+            "with --metrics-out on serve/marketplace), with labels and "
+            "the emitting module."
+        ),
+    )
+    metrics_parser.add_argument("--json", action="store_true", help="print the catalog as JSON")
+
     lint_parser = subparsers.add_parser(
         "lint",
         help="run the determinism & contract analyzer over the repo's sources",
@@ -465,6 +477,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FRACTION",
         help="fraction of the pool that must drift on one domain before re-selection is recommended (default 0.5)",
     )
+    serve_parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "enable telemetry and write the byte-stable metrics snapshot "
+            "(sorted JSON) to PATH after serving; the trace stays identical"
+        ),
+    )
     serve_parser.add_argument("--json", action="store_true", help="print the full serving report as JSON")
 
     marketplace_parser = subparsers.add_parser(
@@ -550,6 +571,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume",
         action="store_true",
         help="replay an existing --journal prefix and continue the run (requires --journal)",
+    )
+    marketplace_parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "enable telemetry and write the byte-stable metrics snapshot "
+            "(sorted JSON) to PATH after the run; journal bytes stay identical"
+        ),
     )
     marketplace_parser.add_argument(
         "--json", action="store_true", help="print the full marketplace report as JSON"
@@ -670,11 +700,23 @@ def _report_campaign(campaign: Campaign, args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_metrics_snapshot(path: str, telemetry) -> None:
+    """Write a telemetry bundle's byte-stable snapshot JSON to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(telemetry.snapshot_json())
+        handle.write("\n")
+
+
 def _serve_campaign(args: argparse.Namespace) -> int:
     """The ``repro-crowd serve`` subcommand: selection + serving handoff."""
     overrides = {}
     if args.reselect_fraction is not None:
         overrides["reselect_fraction"] = args.reselect_fraction
+    telemetry = None
+    if args.metrics_out is not None:
+        from repro.obs import create_telemetry
+
+        telemetry = create_telemetry()
     try:
         campaign = Campaign(
             dataset=_apply_scenario(args.dataset, args.scenario),
@@ -690,12 +732,15 @@ def _serve_campaign(args: argparse.Namespace) -> int:
             max_assignments=args.budget,
             aggregator=args.aggregator,
             seed=args.seed,
+            telemetry=telemetry,
             **overrides,
         )
     except (KeyError, TypeError, ValueError) as exc:
         message = exc.args[0] if exc.args and isinstance(exc.args[0], str) else exc
         print(f"repro-crowd serve: error: {message}", file=sys.stderr)
         return 2
+    if telemetry is not None:
+        _write_metrics_snapshot(args.metrics_out, telemetry)
     exit_code = RESELECTION_EXIT_CODE if report.reselection_recommended else 0
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
@@ -743,6 +788,11 @@ def _run_marketplace(args: argparse.Namespace) -> int:
     if args.resume and args.journal is None:
         print("repro-crowd marketplace: error: --resume requires --journal", file=sys.stderr)
         return 2
+    telemetry = None
+    if args.metrics_out is not None:
+        from repro.obs import create_telemetry
+
+        telemetry = create_telemetry()
     try:
         # Campaign names must be journal-safe (no scenario separator) and
         # unique even when the same dataset appears twice, so they are
@@ -770,12 +820,15 @@ def _run_marketplace(args: argparse.Namespace) -> int:
             churn=ChurnConfig(arrival_rate=args.arrival_rate, departure_rate=args.departure_rate),
             journal_path=args.journal,
             seed=args.seed,
+            telemetry=telemetry,
         )
         report = orchestrator.run(args.ticks, tick_batch=args.tick_batch, resume=args.resume)
     except (JournalError, KeyError, TypeError, ValueError) as exc:
         message = exc.args[0] if exc.args and isinstance(exc.args[0], str) else exc
         print(f"repro-crowd marketplace: error: {message}", file=sys.stderr)
         return 2
+    if telemetry is not None:
+        _write_metrics_snapshot(args.metrics_out, telemetry)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
         return 0
@@ -874,6 +927,23 @@ def _list_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _list_metrics(args: argparse.Namespace) -> int:
+    """The ``repro-crowd metrics`` subcommand: the telemetry catalog."""
+    from repro.obs.catalog import catalog_json, catalog_rows
+
+    if args.json:
+        print(catalog_json())
+        return 0
+    rows = catalog_rows()
+    print(f"metric catalog ({len(rows)} metrics; collect with --metrics-out on serve/marketplace):")
+    for row in rows:
+        labels = f" [{', '.join(row['labels'])}]" if row["labels"] else ""
+        volatile = " (volatile)" if row["volatile"] else ""
+        print(f"  {row['name']} ({row['kind']}{volatile}){labels}: {row['help']}")
+        print(f"    emitted by {row['module']}")
+    return 0
+
+
 def _run_lint(args: argparse.Namespace) -> int:
     """The ``repro-crowd lint`` subcommand: the determinism & contract gate."""
     from repro.analysis import analyze, describe_rule, format_json, format_text, resolve_rule_name
@@ -915,6 +985,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _list_behaviors(args)
     if args.experiment == "scenarios":
         return _list_scenarios(args)
+    if args.experiment == "metrics":
+        return _list_metrics(args)
     if args.experiment == "lint":
         return _run_lint(args)
 

@@ -30,7 +30,6 @@ skips completed keys and re-aggregates to the exact full-run result.
 
 from __future__ import annotations
 
-import time
 import zlib
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
@@ -53,6 +52,7 @@ from repro.experiments.store import (
     UnitKey,
     record_key,
 )
+from repro.obs.timing import perf_counter
 from repro.stats.rng import work_unit_seed
 
 #: Progress callback: ``(completed_units, total_units, unit_or_None)``.
@@ -214,9 +214,9 @@ def execute_work_unit(unit: WorkUnit, spec: DatasetSpec, config: ExperimentConfi
     ground_truth = instance.ground_truth_mean_accuracy(unit.k)
     selector = config.make_selector(unit.method, seed=seeds["selector_seed"])
     environment = instance.environment(run_seed=seeds["environment_seed"])
-    start = time.perf_counter()  # repro: allow[D002] -- elapsed_s is a timing report, not state
+    start = perf_counter()
     selection = selector.select(environment, k=unit.k)
-    elapsed = time.perf_counter() - start  # repro: allow[D002] -- elapsed_s is a timing report, not state
+    elapsed = perf_counter() - start
     return {
         "schema_version": RECORD_SCHEMA_VERSION,
         "dataset": unit.dataset,

@@ -8,12 +8,12 @@ implementation on the same datasets; the reproducible claim is the shape
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Optional, Sequence
 
 from repro.baselines import OursSelector
 from repro.config import ExperimentConfig
 from repro.datasets.registry import DATASET_NAMES, get_spec
+from repro.obs.timing import perf_counter
 from repro.stats.rng import derive_seed
 
 #: Runtimes reported by the paper (seconds), for EXPERIMENTS.md comparison.
@@ -42,9 +42,9 @@ def run_runtime(
             cpe_config=config.cpe_config(), lge_config=config.lge_config(), rng=config.base_seed
         )
         environment = instance.environment(run_seed=0)
-        start = time.perf_counter()  # repro: allow[D002] -- the runtime table measures wall clock
+        start = perf_counter()
         selector.select(environment)
-        elapsed = time.perf_counter() - start  # repro: allow[D002] -- the runtime table measures wall clock
+        elapsed = perf_counter() - start
         rows.append(
             {
                 "dataset": name,

@@ -233,6 +233,9 @@ class CampaignHandle:
                 drift=config.drift,
                 reselect_fraction=config.reselect_fraction,
             ),
+            # Threaded in by the orchestrator's _setup (None for a handle
+            # built outside an orchestrator, e.g. in unit tests).
+            telemetry=getattr(self, "_telemetry", None),
         )
 
     def _deliver_due_answers(self, tick: int) -> List[List[object]]:

@@ -30,7 +30,6 @@ continuing where the file ends.
 
 from __future__ import annotations
 
-import time
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
@@ -42,6 +41,7 @@ from repro.marketplace.journal import (
 )
 from repro.marketplace.lifecycle import CampaignHandle, CampaignPhase, CampaignSpec
 from repro.campaign import SelectionManifest
+from repro.obs.timing import perf_counter
 from repro.platform.tasks import Task
 from repro.serving.pool import ServingWorker
 from repro.serving.qualification import (
@@ -487,8 +487,62 @@ class MarketplaceReport:
         }
 
 
+class _OrchestratorMetrics:
+    """Pre-bound orchestrator metric children (one attribute bump per event)."""
+
+    __slots__ = (
+        "ticks",
+        "admitted",
+        "rejected",
+        "departures",
+        "invalidations",
+        "campaign_events",
+        "journal_events",
+        "journal_flushes",
+        "elapsed",
+    )
+
+    def __init__(self, registry) -> None:
+        self.ticks = registry.counter("marketplace.ticks", "marketplace ticks executed")
+        self.admitted = registry.counter(
+            "marketplace.arrivals.admitted", "churn arrivals admitted into the marketplace"
+        )
+        self.rejected = registry.counter(
+            "marketplace.arrivals.rejected", "churn arrivals turned away by the prestudy qualification"
+        )
+        self.departures = registry.counter(
+            "marketplace.departures", "workers departed from the marketplace"
+        )
+        self.invalidations = registry.counter(
+            "marketplace.invalidations", "in-flight vote invalidations caused by departures"
+        )
+        self.campaign_events = registry.counter(
+            "marketplace.campaign.events",
+            "per-campaign lifecycle events journaled each tick",
+            ("type",),
+        )
+        self.journal_events = registry.counter(
+            "marketplace.journal.events", "events appended to the tick journal"
+        )
+        self.journal_flushes = registry.counter(
+            "marketplace.journal.flushes",
+            "journal flush batches (depends on tick_batch; excluded from stable snapshots)",
+            volatile=True,
+        )
+        self.elapsed = registry.gauge(
+            "marketplace.run.elapsed_seconds",
+            "wall-clock duration of the last orchestrator run",
+            volatile=True,
+        )
+
+
 class MarketplaceOrchestrator:
-    """Drive N campaigns against one churning marketplace, tick by tick."""
+    """Drive N campaigns against one churning marketplace, tick by tick.
+
+    ``telemetry`` is deliberately *not* part of :class:`MarketplaceConfig`:
+    the config is the journal fingerprint, and observing a run must never
+    change what the run is.
+    """
 
     def __init__(
         self,
@@ -498,6 +552,7 @@ class MarketplaceOrchestrator:
         journal_path: Optional[object] = None,
         population: Optional[PopulationConfig] = None,
         seed: int = 0,
+        telemetry=None,
     ) -> None:
         specs = list(specs)
         if not specs:
@@ -513,11 +568,20 @@ class MarketplaceOrchestrator:
         self._seed = int(seed)
         self._marketplace: Optional[Marketplace] = None
         self._handles: List[CampaignHandle] = []
+        self._telemetry = telemetry if telemetry is not None and telemetry.enabled else None
+        self._metrics = (
+            _OrchestratorMetrics(self._telemetry.registry) if self._telemetry is not None else None
+        )
 
     # ------------------------------------------------------------------ #
     @property
     def journal(self) -> Optional[EventJournal]:
         return self._journal
+
+    @property
+    def telemetry(self):
+        """The telemetry bundle this run reports through (``None`` when off)."""
+        return self._telemetry
 
     @property
     def marketplace(self) -> Optional[Marketplace]:
@@ -551,6 +615,7 @@ class MarketplaceOrchestrator:
         self._marketplace = Marketplace(self._config, population, self._seed)
         for handle in self._handles:
             handle._marketplace = self._marketplace
+            handle._telemetry = self._telemetry
             self._marketplace.attach(handle)
         self._churn = ChurnModel(self._churn_config, self._seed)
 
@@ -563,6 +628,15 @@ class MarketplaceOrchestrator:
             invalidations.extend(self._marketplace.depart(worker_id, tick))
         arrivals = self._marketplace.admit_arrivals(tick, self._churn.arrivals_at(tick))
         campaigns = [handle.step(tick) for handle in self._handles]
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.ticks.inc()
+            metrics.departures.inc(len(departing))
+            metrics.invalidations.inc(len(invalidations))
+            for event in arrivals:
+                (metrics.admitted if event["admitted"] else metrics.rejected).inc()
+            for event in campaigns:
+                metrics.campaign_events.labels(str(event["phase"])).inc()
         return {
             "type": "tick",
             "tick": tick,
@@ -587,7 +661,7 @@ class MarketplaceOrchestrator:
             raise ValueError("n_ticks must be non-negative")
         if tick_batch <= 0:
             raise ValueError("tick_batch must be positive")
-        start = time.perf_counter()  # repro: allow[D002] -- elapsed_s is a timing report, not state
+        start = perf_counter()
         self._setup()
         replayed: List[Dict[str, object]] = []
         if self._journal is not None:
@@ -610,12 +684,22 @@ class MarketplaceOrchestrator:
             if self._journal is not None:
                 buffer.append(record)
                 if len(buffer) >= tick_batch:
-                    self._journal.append_ticks(buffer)
+                    self._flush(buffer)
                     buffer = []
         if self._journal is not None and buffer:
-            self._journal.append_ticks(buffer)
-        # repro: allow[D002] -- elapsed_s is a timing report, not state
-        return self._report(n_ticks, time.perf_counter() - start)
+            self._flush(buffer)
+        elapsed_s = perf_counter() - start
+        if self._metrics is not None:
+            self._metrics.elapsed.set(elapsed_s)
+        return self._report(n_ticks, elapsed_s)
+
+    def _flush(self, buffer: List[Dict[str, object]]) -> None:
+        """Append one batch of tick records to the journal."""
+        assert self._journal is not None
+        self._journal.append_ticks(buffer)
+        if self._metrics is not None:
+            self._metrics.journal_events.inc(len(buffer))
+            self._metrics.journal_flushes.inc()
 
     def _report(self, n_ticks: int, elapsed_s: float) -> MarketplaceReport:
         assert self._marketplace is not None

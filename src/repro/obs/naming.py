@@ -1,0 +1,87 @@
+"""Canonical metric naming: dotted, lowercase, validated once at registry time.
+
+Every subsystem that emits telemetry builds its metric names through
+:func:`metric_name` so the whole catalog shares one grammar:
+
+    ``<subsystem>.<noun>[.<noun>...]`` — e.g. ``serving.route.outcomes``
+
+Segments are lowercase ``[a-z][a-z0-9_]*`` and joined with dots; anything
+else raises at registration time rather than surfacing as a malformed
+exposition line in production.  The O001 analyzer rule enforces that
+modules constructing metric names go through this helper (or pass a
+literal that already satisfies the grammar), which keeps name/label
+cardinality from drifting between subsystems.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Tuple
+
+#: A full metric name: two or more dotted lowercase segments.
+METRIC_NAME_PATTERN = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+#: One segment of a metric name (no dots).
+METRIC_SEGMENT_PATTERN = re.compile(r"^[a-z][a-z0-9_]*$")
+
+#: A label name: same grammar as a segment.
+LABEL_NAME_PATTERN = METRIC_SEGMENT_PATTERN
+
+
+def validate_metric_name(name: str) -> str:
+    """Return ``name`` if it satisfies the metric grammar, else raise.
+
+    >>> validate_metric_name("serving.route.outcomes")
+    'serving.route.outcomes'
+    """
+    if not isinstance(name, str) or not METRIC_NAME_PATTERN.match(name):
+        raise ValueError(
+            f"invalid metric name {name!r}: expected two or more dotted "
+            "lowercase segments matching [a-z][a-z0-9_]* "
+            "(build names with repro.obs.naming.metric_name)"
+        )
+    return name
+
+
+def metric_name(*parts: str) -> str:
+    """Join ``parts`` into a validated dotted metric name.
+
+    >>> metric_name("serving", "route", "outcomes")
+    'serving.route.outcomes'
+    """
+    if len(parts) < 2:
+        raise ValueError(
+            f"metric_name needs at least two segments, got {parts!r}"
+        )
+    for part in parts:
+        if not isinstance(part, str) or not METRIC_SEGMENT_PATTERN.match(part):
+            raise ValueError(
+                f"invalid metric name segment {part!r}: expected lowercase "
+                "[a-z][a-z0-9_]* with no dots"
+            )
+    return ".".join(parts)
+
+
+def validate_label_names(labels: Tuple[str, ...]) -> Tuple[str, ...]:
+    """Validate a tuple of label names (lowercase segments, no duplicates)."""
+    seen = set()
+    for label in labels:
+        if not isinstance(label, str) or not LABEL_NAME_PATTERN.match(label):
+            raise ValueError(
+                f"invalid label name {label!r}: expected lowercase "
+                "[a-z][a-z0-9_]* with no dots"
+            )
+        if label in seen:
+            raise ValueError(f"duplicate label name {label!r}")
+        seen.add(label)
+    return tuple(labels)
+
+
+__all__ = [
+    "METRIC_NAME_PATTERN",
+    "METRIC_SEGMENT_PATTERN",
+    "LABEL_NAME_PATTERN",
+    "metric_name",
+    "validate_metric_name",
+    "validate_label_names",
+]

@@ -1,0 +1,37 @@
+# repro: allow-file[D002] -- the single blessed wall-clock site; every other
+# module imports perf_counter/wall_time from here so timing stays out of state.
+"""The one place in the tree that is allowed to read the wall clock.
+
+Determinism rule D002 flags every ``time.perf_counter`` / ``time.time``
+call site outside this module.  Code that legitimately needs elapsed-time
+*reporting* (benchmark loops, ``elapsed_s`` report fields, volatile
+latency metrics) imports from here instead of ``time``:
+
+    from repro.obs.timing import perf_counter
+
+That keeps the waiver surface at exactly one file and makes every
+wall-clock dependency greppable.  Nothing in this module may feed values
+back into simulation or serving *state* — wall time is for reports and
+volatile metrics only.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["perf_counter", "wall_time", "monotonic"]
+
+
+def perf_counter() -> float:
+    """High-resolution elapsed-time clock (see :func:`time.perf_counter`)."""
+    return time.perf_counter()
+
+
+def wall_time() -> float:
+    """Seconds since the epoch (see :func:`time.time`); reports only."""
+    return time.time()
+
+
+def monotonic() -> float:
+    """Monotonic clock (see :func:`time.monotonic`); reports only."""
+    return time.monotonic()

@@ -37,14 +37,50 @@ _SMOOTH = 1e-6  # matches repro.aggregation.dawid_skene._SMOOTH
 _PSEUDO_COUNT = 1.0
 _PSEUDO_RATE = 0.7
 
+#: EM iteration histogram bounds (converge() stops at max_iterations=100).
+_ITERATION_BOUNDS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 100.0)
+
+
+class _AggregatorMetrics:
+    """Pre-bound convergence/ingestion metrics for one aggregator."""
+
+    __slots__ = ("votes", "converged", "not_converged", "iterations")
+
+    def __init__(self, registry, aggregator_name: str) -> None:
+        self.votes = registry.counter(
+            "aggregation.votes.ingested",
+            "votes ingested by streaming aggregators",
+            ("aggregator",),
+        ).labels(aggregator_name)
+        runs = registry.counter(
+            "aggregation.converge.runs",
+            "aggregator convergence runs by outcome",
+            ("aggregator", "converged"),
+        )
+        self.converged = runs.labels(aggregator_name, "true")
+        self.not_converged = runs.labels(aggregator_name, "false")
+        self.iterations = registry.histogram(
+            "aggregation.converge.iterations",
+            "EM iterations per convergence run",
+            ("aggregator",),
+            bounds=_ITERATION_BOUNDS,
+        ).labels(aggregator_name)
+
 
 class OnlineMajorityVote:
     """Exact streaming majority vote over string task ids."""
+
+    name = "majority"
 
     def __init__(self, tie_break: bool = True) -> None:
         self._tie_break = tie_break
         self._positive: Dict[str, int] = {}
         self._total: Dict[str, int] = {}
+        self._metrics: Optional[_AggregatorMetrics] = None
+
+    def bind_metrics(self, registry) -> None:
+        """Attach ingestion counters from a metrics registry."""
+        self._metrics = _AggregatorMetrics(registry, self.name)
 
     @property
     def n_tasks(self) -> int:
@@ -58,6 +94,8 @@ class OnlineMajorityVote:
         """Record one answer; returns the task's updated label."""
         self._positive[task_id] = self._positive.get(task_id, 0) + int(bool(answer))
         self._total[task_id] = self._total.get(task_id, 0) + 1
+        if self._metrics is not None:
+            self._metrics.votes.inc()
         return self.label(task_id)
 
     def label(self, task_id: str) -> bool:
@@ -91,6 +129,7 @@ class IncrementalDawidSkene:
             raise ValueError("tolerance must be positive")
         self._max_iterations = max_iterations
         self._tolerance = tolerance
+        self._metrics: Optional[_AggregatorMetrics] = None
 
         self._task_index: Dict[str, int] = {}
         self._worker_index: Dict[str, int] = {}
@@ -108,6 +147,12 @@ class IncrementalDawidSkene:
         self._sens_den: List[float] = []
         self._spec_num: List[float] = []
         self._spec_den: List[float] = []
+
+    name = "dawid_skene"
+
+    def bind_metrics(self, registry) -> None:
+        """Attach ingestion and convergence metrics from a metrics registry."""
+        self._metrics = _AggregatorMetrics(registry, self.name)
 
     # ------------------------------------------------------------------ #
     @property
@@ -186,6 +231,8 @@ class IncrementalDawidSkene:
         self._answer_workers.append(worker)
         self._answer_tasks.append(task)
         self._answer_values.append(value)
+        if self._metrics is not None:
+            self._metrics.votes.inc()
         return bool(posterior >= 0.5)
 
     def _posterior_of(self, task: int) -> float:
@@ -266,6 +313,9 @@ class IncrementalDawidSkene:
                 break
             posterior = new_posterior
 
+        if self._metrics is not None:
+            (self._metrics.converged if converged else self._metrics.not_converged).inc()
+            self._metrics.iterations.observe(iteration)
         return DawidSkeneResult(
             labels=posterior >= 0.5,
             posterior_positive=posterior,

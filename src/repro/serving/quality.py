@@ -122,6 +122,19 @@ class QualityTracker:
         # flat (worker, domain)-keyed layout grew without bound.
         self._streams: Dict[str, Dict[str, _Stream]] = {}
         self._events: List[DriftEvent] = []
+        self._m_observations = None
+        self._m_detections = None
+
+    def bind_metrics(self, registry) -> None:
+        """Attach observation/detection counters from a metrics registry."""
+        self._m_observations = registry.counter(
+            "quality.observations", "answer observations folded into EWMA quality state"
+        )
+        self._m_detections = registry.counter(
+            "quality.drift.detections",
+            "drift events raised by the EWMA tracker",
+            ("domain",),
+        )
 
     @property
     def config(self) -> DriftConfig:
@@ -138,6 +151,8 @@ class QualityTracker:
         config = self._config
         value = float(bool(agreed))
         stream.count += 1
+        if self._m_observations is not None:
+            self._m_observations.inc()
 
         if stream.fast is None:
             stream.warmup_sum += value
@@ -170,6 +185,8 @@ class QualityTracker:
         # (not the same one) is needed to escalate another tier.
         stream.slow = stream.fast
         self._events.append(event)
+        if self._m_detections is not None:
+            self._m_detections.labels(domain).inc()
         return event
 
     # ------------------------------------------------------------------ #

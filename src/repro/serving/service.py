@@ -23,10 +23,11 @@ byte-identical (see :meth:`ServingReport.trace_dict`).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.obs.listener import PoolMetricsListener
+from repro.obs.timing import perf_counter
 from repro.platform.session import BudgetExceededError
 from repro.platform.tasks import Task, TaskBank
 from repro.serving.aggregation import IncrementalDawidSkene, OnlineMajorityVote
@@ -204,6 +205,72 @@ class _PendingTask:
     answers: Dict[str, bool] = field(default_factory=dict)
 
 
+class _ServiceMetrics:
+    """Pre-bound serving metrics (one object per instrumented service).
+
+    Children are resolved once at construction; the serving loop pays a
+    single ``is None`` check when telemetry is off and plain attribute
+    ``inc`` calls when on.
+    """
+
+    __slots__ = (
+        "tasks_submitted",
+        "votes_requested",
+        "votes_assigned",
+        "answers_recorded",
+        "agreed",
+        "disagreed",
+        "tasks_finalized",
+        "votes_invalidated",
+        "votes_reassigned",
+        "drift_demotions",
+        "elapsed",
+    )
+
+    def __init__(self, registry) -> None:
+        self.tasks_submitted = registry.counter(
+            "serving.tasks.submitted", "tasks accepted by AnnotationService.submit()"
+        )
+        self.votes_requested = registry.counter(
+            "serving.votes.requested",
+            "votes requested across submitted tasks (before budget clamping)",
+        )
+        self.votes_assigned = registry.counter(
+            "serving.votes.assigned", "vote assignments actually routed to workers"
+        )
+        self.answers_recorded = registry.counter(
+            "serving.answers.recorded", "worker answers ingested by record_answer()"
+        )
+        agreement = registry.counter(
+            "serving.answers.agreement",
+            "per-answer agreement with the finalized task label",
+            ("agreed",),
+        )
+        self.agreed = agreement.labels("true")
+        self.disagreed = agreement.labels("false")
+        self.tasks_finalized = registry.counter(
+            "serving.tasks.finalized", "tasks finalized with a label"
+        )
+        self.votes_invalidated = registry.counter(
+            "serving.votes.invalidated",
+            "in-flight votes invalidated by worker departure/demotion",
+        )
+        self.votes_reassigned = registry.counter(
+            "serving.votes.reassigned",
+            "invalidated votes successfully re-routed to replacement workers",
+        )
+        self.drift_demotions = registry.counter(
+            "serving.drift.demotions",
+            "drift-triggered qualification demotions applied by the service",
+            ("domain",),
+        )
+        self.elapsed = registry.gauge(
+            "serving.serve.elapsed_seconds",
+            "wall-clock duration of the last serve() run",
+            volatile=True,
+        )
+
+
 class AnnotationService:
     """Drive the annotation phase over a :class:`ServingPool`.
 
@@ -220,6 +287,12 @@ class AnnotationService:
         Capture each submitted task's ``gold_label`` so the report can
         score label accuracy (a simulation convenience — disable for
         streams whose gold labels are genuinely unknown).
+    telemetry:
+        Optional :class:`repro.obs.config.Telemetry` bundle.  Deliberately
+        *not* part of :class:`ServingConfig` — the config is fingerprinted
+        into traces, and telemetry must never change a run's outputs.
+        ``None`` (or a disabled bundle) leaves every hot path with a
+        single ``is None`` check.
     """
 
     def __init__(
@@ -228,6 +301,7 @@ class AnnotationService:
         config: Optional[ServingConfig] = None,
         answer_oracle: Optional[AnswerOracle] = None,
         track_gold: bool = True,
+        telemetry=None,
     ) -> None:
         self._pool = pool
         self._config = config or ServingConfig()
@@ -252,6 +326,21 @@ class AnnotationService:
         self._budget_exhausted = False
         self._capacity_exhausted = False
         self._elapsed_s = 0.0
+        self._telemetry = telemetry if telemetry is not None and telemetry.enabled else None
+        self._metrics: Optional[_ServiceMetrics] = None
+        if self._telemetry is not None:
+            registry = self._telemetry.registry
+            self._metrics = _ServiceMetrics(registry)
+            # Third-party routers may not subclass BaseRouter; route
+            # metrics are then simply not collected for them.
+            bind = getattr(self._router, "bind_telemetry", None)
+            if bind is not None:
+                bind(self._telemetry)
+            self._tracker.bind_metrics(registry)
+            self._aggregator.bind_metrics(registry)
+            PoolMetricsListener(
+                registry, load_events=self._telemetry.config.pool_load_events
+            ).attach(pool)
         # The service listens on the pool bus itself (besides its router):
         # a departure drops the worker's drift streams, bounding tracker
         # memory on churny open-world pools.
@@ -350,6 +439,11 @@ class AnnotationService:
             votes = min(votes, remaining)
         worker_ids = self._router.route(task.domain, votes)
         self._spent_assignments += len(worker_ids)
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.tasks_submitted.inc()
+            metrics.votes_requested.inc(self._config.votes_per_task)
+            metrics.votes_assigned.inc(len(worker_ids))
         if self._track_gold:
             self._gold_labels[task.task_id] = task.gold_label
         assignment = TaskAssignment(task_id=task.task_id, domain=task.domain, worker_ids=tuple(worker_ids))
@@ -369,6 +463,8 @@ class AnnotationService:
         pending.answers[worker_id] = bool(answer)
         self._aggregator.add(task_id, worker_id, bool(answer))
         self._pool.complete_assignment(worker_id)
+        if self._metrics is not None:
+            self._metrics.answers_recorded.inc()
         if len(pending.answers) == len(pending.expected):
             self._finalize(task_id, pending)
 
@@ -377,13 +473,21 @@ class AnnotationService:
         del self._pending[task_id]
         label = self._aggregator.label(task_id)
         domain = pending.task.domain
+        metrics = self._metrics
         for worker_id in pending.expected:
-            event = self._tracker.observe(worker_id, domain, pending.answers[worker_id] == label)
+            agreed = pending.answers[worker_id] == label
+            if metrics is not None:
+                (metrics.agreed if agreed else metrics.disagreed).inc()
+            event = self._tracker.observe(worker_id, domain, agreed)
             if event is not None:
                 new_tier = self._pool.demote(worker_id, domain)
                 self._demotions.append(
                     {"worker_id": worker_id, "domain": domain, "new_tier": new_tier.name.lower()}
                 )
+                if metrics is not None:
+                    metrics.drift_demotions.labels(domain).inc()
+        if metrics is not None:
+            metrics.tasks_finalized.inc()
 
     def invalidate_worker(self, worker_id: str, reassign: bool = True) -> List[Dict[str, object]]:
         """Invalidate every unanswered in-flight vote held by ``worker_id``.
@@ -415,6 +519,9 @@ class AnnotationService:
                 replacements = self._router.route_excluding(pending.task.domain, 1, exclude)
                 self._spent_assignments += len(replacements)
                 pending.expected = pending.expected + tuple(replacements)
+            if self._metrics is not None:
+                self._metrics.votes_invalidated.inc()
+                self._metrics.votes_reassigned.inc(len(replacements))
             record: Dict[str, object] = {
                 "task_id": task_id,
                 "domain": pending.task.domain,
@@ -468,7 +575,7 @@ class AnnotationService:
         (``budget_exhausted``) or capacity disappears entirely
         (``capacity_exhausted``); the report records which.
         """
-        start = time.perf_counter()  # repro: allow[D002] -- elapsed_s is a timing report, not state
+        start = perf_counter()
         for task in tasks:
             try:
                 self.process(task)
@@ -478,7 +585,9 @@ class AnnotationService:
             except NoEligibleWorkersError:
                 self._capacity_exhausted = True
                 break
-        self._elapsed_s += time.perf_counter() - start  # repro: allow[D002] -- elapsed_s is a timing report, not state
+        self._elapsed_s += perf_counter() - start
+        if self._metrics is not None:
+            self._metrics.elapsed.set(self._elapsed_s)
         return self.report()
 
     # ------------------------------------------------------------------ #

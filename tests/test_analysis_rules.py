@@ -595,6 +595,120 @@ class TestSchemaVersionC004:
 
 
 # --------------------------------------------------------------------- #
+# O-rules: observability
+# --------------------------------------------------------------------- #
+class TestMetricNamingO001:
+    def test_invalid_literal_name_fires(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            """
+            def setup(registry):
+                return registry.counter("Bad Name", "help text")
+            """,
+        )
+        assert "O001" in _active_ids(report)
+
+    def test_single_segment_literal_fires(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            """
+            def setup(registry):
+                return registry.gauge("depth", "help text")
+            """,
+        )
+        assert "O001" in _active_ids(report)
+
+    def test_valid_literal_passes(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            """
+            def setup(registry):
+                registry.counter("serving.tasks.submitted", "help")
+                registry.gauge("pool.depth", "help")
+                registry.histogram("serving.route.latency_seconds", "help")
+            """,
+        )
+        assert "O001" not in _active_ids(report)
+
+    def test_fstring_name_fires(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            """
+            def setup(registry, layer):
+                return registry.counter(f"{layer}.events", "help")
+            """,
+        )
+        assert "O001" in _active_ids(report)
+
+    def test_concatenated_name_fires(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            """
+            def setup(registry, layer):
+                return registry.histogram(layer + ".latency", "help")
+            """,
+        )
+        assert "O001" in _active_ids(report)
+
+    def test_format_call_fires(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            """
+            def setup(registry, layer):
+                return registry.counter("{}.events".format(layer), "help")
+            """,
+        )
+        assert "O001" in _active_ids(report)
+
+    def test_metric_name_helper_passes(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            """
+            from repro.obs.naming import metric_name
+
+            def setup(registry, layer):
+                return registry.counter(metric_name(layer, "events"), "help")
+            """,
+        )
+        assert "O001" not in _active_ids(report)
+
+    def test_variable_reference_passes(self, tmp_path):
+        # A plain name reference is resolved at runtime, where the registry
+        # re-validates against the same grammar.
+        report = _lint(
+            tmp_path,
+            """
+            NAME = "serving.tasks.submitted"
+
+            def setup(registry):
+                return registry.counter(NAME, "help")
+            """,
+        )
+        assert "O001" not in _active_ids(report)
+
+    def test_keyword_name_argument_checked(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            """
+            def setup(registry):
+                return registry.counter(name="NotDotted", help="help")
+            """,
+        )
+        assert "O001" in _active_ids(report)
+
+    def test_pragma_suppresses(self, tmp_path):
+        report = _lint(
+            tmp_path,
+            """
+            def setup(registry, layer):
+                return registry.counter(f"{layer}.events", "help")  # repro: allow[O001] -- vetted upstream
+            """,
+        )
+        assert "O001" not in _active_ids(report)
+        assert "O001" in _suppressed_ids(report)
+
+
+# --------------------------------------------------------------------- #
 # S-rules: safety
 # --------------------------------------------------------------------- #
 class TestMutableDefaultS001:
