@@ -27,12 +27,12 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import sys
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from conftest import assert_bench_environment, bench_environment
 from repro.obs.timing import perf_counter
 from repro.platform.budget import compute_budget
 from repro.platform.session import AnnotationEnvironment
@@ -168,11 +168,7 @@ def run_benchmark(
             "repeats": repeats,
             "contamination_mix": CONTAMINATION_MIX,
         },
-        "environment": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "machine": platform.machine(),
-        },
+        "environment": bench_environment(),
         "results": results,
     }
 
@@ -215,6 +211,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         n_rounds=args.rounds,
         repeats=args.repeats,
     )
+    assert_bench_environment(payload)
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -24,12 +24,12 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import sys
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from conftest import assert_bench_environment, bench_environment
 from repro.core.cpe import CPEConfig, CrossDomainPerformanceEstimator
 from repro.obs.timing import perf_counter
 
@@ -155,11 +155,7 @@ def run_benchmark(
             "repeats": repeats,
             "missing_domain_fraction": MISSING_DOMAIN_FRACTION,
         },
-        "environment": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "machine": platform.machine(),
-        },
+        "environment": bench_environment(),
         "results": results,
     }
 
@@ -188,6 +184,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     print(f"CPE hot-path benchmark — epochs={args.epochs}, repeats={args.repeats}")
     payload = run_benchmark(args.pool_sizes, n_epochs=args.epochs, repeats=args.repeats)
+    assert_bench_environment(payload)
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -28,12 +28,10 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import platform
 import sys
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
+from conftest import assert_bench_environment, bench_environment
 from repro.config import METHOD_ORDER, ExperimentConfig
 from repro.experiments.runner import DatasetResult, plan_work_units, run_method_comparison
 from repro.obs.timing import perf_counter
@@ -103,12 +101,7 @@ def run_benchmark(
             "base_seed": base_seed,
             "n_work_units": n_units,
         },
-        "environment": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "machine": platform.machine(),
-            "cpu_count": os.cpu_count(),
-        },
+        "environment": bench_environment(),
         "results": results,
     }
 
@@ -157,6 +150,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         base_seed=args.seed,
         methods=args.methods,
     )
+    assert_bench_environment(payload)
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

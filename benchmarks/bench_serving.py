@@ -4,11 +4,14 @@ Times the two serving hot paths in isolation:
 
 * **routing** — ``route()`` + load release per policy (``round_robin``,
   ``least_loaded``, ``domain_affinity``) across pool sizes up to 100k
-  workers, reported as routed tasks/second.  ``domain_affinity`` is timed
-  under its ``indexed`` engine (the per-domain qualification indexes) at
-  every size and under the O(n log n) ``reference`` engine on the smaller
+  workers, reported as routed tasks/second.  Every engine a policy
+  declares gets its own cells: ``domain_affinity`` is timed under its
+  ``indexed`` engine (the per-domain qualification indexes) at every
+  size and under the O(n log n) ``reference`` engine on the smaller
   pools, so the payload documents both the scaling cliff the index
-  removed and the fact that it is gone;
+  removed and the fact that it is gone; ``least_loaded`` is timed under
+  its ``heap`` engine and the O(1) ``bucket`` queue, whose flatness
+  across pool sizes is the bucket's complexity-class evidence;
 * **aggregation** — per-answer ``add()`` latency of the streaming
   majority vote and the incremental Dawid-Skene, plus the cost of the
   exact EM replay (``converge``);
@@ -28,9 +31,9 @@ gate: the run exits non-zero when indexed affinity routing falls below
 that fraction of the heap router, which is how CI pins the index's
 complexity class.
 
-Before any timing, the two affinity engines are routed side by side on a
-churning pool and the run aborts on the first divergent pick — timing a
-broken index is worthless.
+Before any timing, every multi-engine policy has its engines routed side
+by side on a churning pool and the run aborts on the first divergent
+pick — timing a broken index (or bucket queue) is worthless.
 
 Run it as a script (the pytest suite does not collect it):
 
@@ -52,12 +55,12 @@ from __future__ import annotations
 import argparse
 import gc
 import json
-import platform
 import sys
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from conftest import assert_bench_environment, bench_environment
 from repro.obs.timing import perf_counter
 from repro.serving.aggregation import IncrementalDawidSkene, OnlineMajorityVote
 from repro.serving.pool import ServingPool, ServingWorker
@@ -65,11 +68,11 @@ from repro.serving.qualification import DomainQualification, QualificationTier
 from repro.serving.routing import (
     NoEligibleWorkersError,
     make_router,
-    router_accepts,
+    router_engines,
     router_names,
 )
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 DEFAULT_POOL_SIZES = (40, 160, 640, 10_000, 100_000)
 #: Pool sizes the telemetry on/off arms are compared at.
@@ -112,23 +115,31 @@ def build_pool(n_workers: int, seed: int = 0, max_concurrent: int = 8) -> Servin
     return ServingPool(workers)
 
 
-def check_engine_equivalence(n_workers: int, n_tasks: int, votes: int, seed: int = 0) -> int:
-    """Route both affinity engines side by side on a churning pool.
+def check_engine_equivalence(
+    policy: str,
+    engines: Tuple[str, ...],
+    n_workers: int,
+    n_tasks: int,
+    votes: int,
+    seed: int = 0,
+) -> int:
+    """Route a policy's engines side by side on a churning pool.
 
     Drives identical route / complete / demote / remove / re-add scripts
-    against two same-seeded pools and raises on the first divergent pick.
+    against same-seeded pools and raises on the first divergent pick.
     Returns the number of compared tasks.
     """
-    pools = {engine: build_pool(n_workers, seed=seed) for engine in ("indexed", "reference")}
+    lead = engines[0]
+    pools = {engine: build_pool(n_workers, seed=seed) for engine in engines}
     routers = {
-        engine: make_router("domain_affinity", pool, engine=engine)
+        engine: make_router(policy, pool, engine=engine)
         for engine, pool in pools.items()
     }
     removed: Dict[str, ServingWorker] = {}
     compared = 0
     for task in range(n_tasks):
         picks = {}
-        for engine in ("indexed", "reference"):
+        for engine in engines:
             try:
                 chosen = routers[engine].route(DEFAULT_DOMAIN, votes)
             except NoEligibleWorkersError:
@@ -137,25 +148,27 @@ def check_engine_equivalence(n_workers: int, n_tasks: int, votes: int, seed: int
                 for worker_id in chosen:
                     pools[engine].complete_assignment(worker_id)
             picks[engine] = chosen
-        if picks["indexed"] != picks["reference"]:
-            raise RuntimeError(
-                f"engine divergence at task {task} on a {n_workers}-worker pool: "
-                f"indexed={picks['indexed']} reference={picks['reference']}"
-            )
+        for engine in engines[1:]:
+            if picks[engine] != picks[lead]:
+                raise RuntimeError(
+                    f"{policy} engine divergence at task {task} on a "
+                    f"{n_workers}-worker pool: {lead}={picks[lead]} "
+                    f"{engine}={picks[engine]}"
+                )
         compared += 1
-        # Churn script (identical on both pools): demote the task's first
+        # Churn script (identical on all pools): demote the task's first
         # pick every 7 tasks, remove a routed worker every 11, re-admit the
         # longest-removed worker every 13.
-        if picks["indexed"] is None:
+        if picks[lead] is None:
             continue  # drained identically; a later re-admission may refill
         if task % 7 == 3:
             for pool in pools.values():
-                pool.demote(picks["indexed"][0], DEFAULT_DOMAIN)
-        if task % 11 == 5 and len(pools["indexed"]) > votes:
-            victim = picks["indexed"][-1]
+                pool.demote(picks[lead][0], DEFAULT_DOMAIN)
+        if task % 11 == 5 and len(pools[lead]) > votes:
+            victim = picks[lead][-1]
             for engine, pool in pools.items():
                 gone = pool.remove_worker(victim)
-                if engine == "indexed":
+                if engine == lead:
                     removed[victim] = gone
         if task % 13 == 8 and removed:
             victim, worker = next(iter(removed.items()))
@@ -163,7 +176,7 @@ def check_engine_equivalence(n_workers: int, n_tasks: int, votes: int, seed: int
             for engine, pool in pools.items():
                 pool.add_worker(
                     worker
-                    if engine == "indexed"
+                    if engine == lead
                     else ServingWorker(
                         worker_id=worker.worker_id,
                         qualifications=dict(worker.qualifications),
@@ -312,13 +325,24 @@ def _flatness(cells: List[Dict[str, object]]) -> Dict[str, Dict[str, float]]:
     }
 
 
+def _default_engine(policy: str) -> Optional[str]:
+    engines = router_engines(policy)
+    return engines[0] if engines else None
+
+
 def _affinity_ratios(cells: List[Dict[str, object]]) -> Dict[str, object]:
-    """Indexed-affinity throughput as a fraction of least_loaded, per pool size."""
+    """Indexed-affinity throughput as a fraction of least_loaded, per pool size.
+
+    Compares the production engines only (each policy's declared default) —
+    alternate engines like ``reference`` and ``bucket`` have their own cells
+    but stay out of the headline ratio.
+    """
     by_size: Dict[int, Dict[str, float]] = {}
     for cell in cells:
-        if cell.get("engine") == "reference":
+        policy = str(cell["policy"])
+        if cell.get("engine") not in (None, _default_engine(policy)):
             continue
-        by_size.setdefault(int(cell["pool_size"]), {})[str(cell["policy"])] = float(
+        by_size.setdefault(int(cell["pool_size"]), {})[policy] = float(
             cell["tasks_per_second"]
         )
     ratios: Dict[str, float] = {}
@@ -345,13 +369,21 @@ def run_benchmark(
     overhead_pool_sizes: Sequence[int] = DEFAULT_OVERHEAD_POOL_SIZES,
 ) -> Dict[str, object]:
     """The full benchmark payload."""
-    compared = check_engine_equivalence(min(pool_sizes), n_tasks=min(n_tasks, 500), votes=votes)
-    print(f"  engine equivalence: {compared} churning tasks, picks identical", file=sys.stderr)
+    for policy in router_names():
+        declared = router_engines(policy)
+        if len(declared) < 2:
+            continue
+        compared = check_engine_equivalence(
+            policy, declared, min(pool_sizes), n_tasks=min(n_tasks, 500), votes=votes
+        )
+        print(
+            f"  {policy} engine equivalence ({'/'.join(declared)}): "
+            f"{compared} churning tasks, picks identical",
+            file=sys.stderr,
+        )
     routing: List[Dict[str, object]] = []
     for policy in router_names():
-        engines: List[Optional[str]] = [None]
-        if router_accepts(policy, "engine"):
-            engines = ["indexed", "reference"]
+        engines: List[Optional[str]] = list(router_engines(policy)) or [None]
         for engine in engines:
             for n_workers in pool_sizes:
                 cell_tasks = n_tasks
@@ -399,11 +431,7 @@ def run_benchmark(
             "reference_max_pool": reference_max_pool,
             "overhead_pool_sizes": list(overhead_pool_sizes),
         },
-        "environment": {
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-            "numpy": np.__version__,
-        },
+        "environment": bench_environment(),
         "routing": routing,
         "throughput_flatness": _flatness(routing),
         "affinity_vs_least_loaded": _affinity_ratios(routing),
@@ -475,6 +503,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         reference_max_pool=args.reference_max_pool,
         overhead_pool_sizes=args.overhead_pools,
     )
+    assert_bench_environment(payload)
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

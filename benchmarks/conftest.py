@@ -10,6 +10,8 @@ result, not a micro-timing distribution.
 
 from __future__ import annotations
 
+import os
+import platform
 from typing import Callable, Dict
 
 import pytest
@@ -21,6 +23,34 @@ BENCH_CONFIG = ExperimentConfig(n_repetitions=2, base_seed=7)
 
 #: Lighter configuration for the sweep benchmarks (figures).
 SWEEP_CONFIG = ExperimentConfig(n_repetitions=1, base_seed=7)
+
+
+def bench_environment(**extra: object) -> Dict[str, object]:
+    """The environment block every benchmark payload records.
+
+    ``cpu_count`` is mandatory: parallel cells (runner shards, marketplace
+    campaign shards) are meaningless without knowing how many cores the
+    numbers were taken on, and the shard-speedup gate soft-skips below
+    four.  Extra keyword pairs are merged on top.
+    """
+    import numpy as np
+
+    environment: Dict[str, object] = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+    }
+    environment.update(extra)
+    return environment
+
+
+def assert_bench_environment(payload: Dict[str, object]) -> None:
+    """Fail fast when a benchmark payload forgot the environment contract."""
+    environment = payload.get("environment")
+    if not isinstance(environment, dict) or not isinstance(environment.get("cpu_count"), int):
+        raise AssertionError("benchmark payload must record environment.cpu_count")
 
 
 def run_once(benchmark, func: Callable[[], object]) -> object:

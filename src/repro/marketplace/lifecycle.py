@@ -176,6 +176,11 @@ class CampaignHandle:
 
     def _step_serving(self, tick: int, event: Dict[str, object]) -> None:
         assert self.service is not None
+        # Deferred-ready tasks (completed by a departure's invalidation)
+        # finalise at one pinned point — the start of the next serving
+        # step — so their drift demotions land identically under the
+        # serial and sharded tick engines.
+        self.service.finalize_ready()
         event["delivered"] = self._deliver_due_answers(tick)
         submitted, stalled = self._submit_tasks(tick)
         event["submitted"] = submitted
@@ -236,6 +241,7 @@ class CampaignHandle:
             # Threaded in by the orchestrator's _setup (None for a handle
             # built outside an orchestrator, e.g. in unit tests).
             telemetry=getattr(self, "_telemetry", None),
+            defer_invalidation_finalize=True,
         )
 
     def _deliver_due_answers(self, tick: int) -> List[List[object]]:
@@ -247,7 +253,7 @@ class CampaignHandle:
                 # The vote was invalidated (departure) after scheduling.
                 continue
             task = self._task_by_id[task_id]
-            answer = self._marketplace.answer(worker_id, task)
+            answer = self._marketplace.answer(worker_id, task, self.spec.name)
             self.service.record_answer(task_id, worker_id, answer)
             self.answers_delivered += 1
             delivered.append([task_id, worker_id, bool(answer)])

@@ -304,6 +304,25 @@ class RouterRegistry:
         """Canonical names of every registered router, sorted."""
         return sorted(self._factories)
 
+    def engines(self, name: str) -> Tuple[str, ...]:
+        """The ranking engines router ``name`` declares (``()`` when none).
+
+        A router advertises its engines through an ``ENGINES`` class
+        attribute (default first).  The serving layer forwards the
+        ``routing_engine`` knob to a router only when the configured value
+        appears here, so one config can name an engine that belongs to a
+        different router without breaking the others.
+        """
+        canonical = self.resolve(name)
+        return tuple(getattr(self._factories[canonical], "ENGINES", ()))
+
+    def known_engines(self) -> List[str]:
+        """Every engine declared by any registered router, sorted."""
+        known = set()
+        for name in self.names():
+            known.update(self.engines(name))
+        return sorted(known)
+
     def factory_accepts(self, name: str, param: str) -> bool:
         """Whether ``name``'s factory accepts the keyword argument ``param``.
 
@@ -381,6 +400,16 @@ def router_accepts(name: str, param: str) -> bool:
     return GLOBAL_ROUTER_REGISTRY.factory_accepts(name, param)
 
 
+def router_engines(name: str) -> Tuple[str, ...]:
+    """The ranking engines the registered router ``name`` declares."""
+    return GLOBAL_ROUTER_REGISTRY.engines(name)
+
+
+def known_routing_engines() -> List[str]:
+    """Every ranking engine declared by any registered router, sorted."""
+    return GLOBAL_ROUTER_REGISTRY.known_engines()
+
+
 # ---------------------------------------------------------------------- #
 # Built-in policies
 # ---------------------------------------------------------------------- #
@@ -428,40 +457,91 @@ class RoundRobinRouter(BaseRouter):
 
 
 class LeastLoadedRouter(BaseRouter):
-    """Heap-based policy: fewest in-flight assignments wins.
+    """Least-loaded policy: fewest in-flight assignments wins.
 
-    The heap holds ``(active, assigned_total, worker_id)`` keys and uses
-    lazy invalidation: an entry whose key no longer matches the worker's
-    live counters is discarded and re-pushed with the current key, so load
-    released by :meth:`ServingPool.complete_assignment` is picked up
-    without the pool having to notify the router.
+    Per vote the minimal ``(active, assigned_total, worker_id)`` key among
+    eligible workers is picked.  Two engines realise that order:
 
-    Membership changes *are* notified (the pool's listener protocol):
-    arrivals are pushed onto the heap via :meth:`on_worker_added`, and
-    entries for departed workers are discarded at pop time by a membership
-    check — without it a stale heap entry would route a vote to a worker
-    that is no longer in the pool.  :meth:`on_worker_removed` counts the
-    garbage those departures leave behind, and once dead entries outnumber
-    live ones the heap is compacted in one linear filter — so a long
-    churny marketplace run cannot grow the heap without bound.  Compaction
-    cannot change routing output: heap keys are totally ordered (the
-    worker id makes them unique), so the pop sequence is the sorted order
-    of the live entries regardless of the heap's internal layout.
+    ``heap`` (default)
+        One min-heap over the full key — O(log n) per mutation,
+        cache-hostile at 100k workers.
+    ``bucket``
+        A bucket queue over the discrete ``active`` load levels (bounded
+        by ``max_concurrent``), one small ``(assigned_total, worker_id)``
+        min-heap per level.  The global O(log n) heap churn collapses to
+        O(log b) on the tiny per-level heaps, flattening throughput
+        across pool sizes.
+
+    Both engines are re-keyed **eagerly** from the pool's load events:
+    every ``begin``/``complete``/``release`` files the worker's current
+    key, leaving the old entry behind as garbage the route scan discards
+    (the key mismatch gives it away).  Eager re-keying is what makes the
+    documented order *true*: a lazy scheme that only re-keys at pop time
+    would leave a worker whose key **decreased** (a completed assignment)
+    buried at its stale position while a worse key routes first.  It is
+    also what makes the two engines provably identical — each pop yields
+    the global minimum live key, keys are unique (the worker id is part
+    of the key), and the eligibility checks are the same code path (held
+    in lockstep by ``tests/test_routing_equivalence.py``).
+
+    Membership changes arrive on the same listener protocol: arrivals
+    are pushed via :meth:`on_worker_added`, and entries for departed
+    workers are discarded at pop time by a membership check.  Garbage —
+    from load churn and departures alike — is bounded by compaction:
+    once entries outnumber live workers 2:1 (plus a small floor) the
+    structure is rebuilt from the pool in one linear sweep, so a long
+    churny marketplace run cannot grow it without bound.  Compaction
+    cannot change routing output: the pop sequence is the sorted order
+    of the live keys regardless of internal layout.
     """
 
     name = "least_loaded"
 
-    def __init__(self, pool: ServingPool, min_tier: QualificationTier = QualificationTier.FALLBACK) -> None:
+    #: Valid ``engine=`` values, default first.
+    ENGINES = ("heap", "bucket")
+
+    def __init__(
+        self,
+        pool: ServingPool,
+        min_tier: QualificationTier = QualificationTier.FALLBACK,
+        engine: str = "heap",
+    ) -> None:
+        if engine not in self.ENGINES:
+            raise ValueError(
+                f"unknown routing engine {engine!r}; expected one of {', '.join(self.ENGINES)}"
+            )
+        self._engine = engine
+        self._heap: Optional[List[Tuple[int, int, str]]] = None
+        self._buckets: Optional[List[List[Tuple[int, str]]]] = None
+        self._entries = 0
+        # Bound as an *instance* attribute before the base class
+        # subscribes us: the pool's hook pre-binding then dispatches load
+        # events here (the class-level hook is a marked no-op the pool
+        # would skip).
+        self.on_load_changed = self._file_live_key  # type: ignore[method-assign]
         super().__init__(pool, min_tier)
-        self._heap: List[Tuple[int, int, str]] = [
-            (worker.active, worker.assigned_total, worker.worker_id) for worker in pool.workers
-        ]
-        heapq.heapify(self._heap)
+        if engine == "heap":
+            self._heap = [
+                (worker.active, worker.assigned_total, worker.worker_id) for worker in pool.workers
+            ]
+            heapq.heapify(self._heap)
+        else:
+            self._buckets = []
+            for worker in pool.workers:
+                self._bucket_push(worker.active, worker.assigned_total, worker.worker_id)
         self._dead = 0
+
+    @property
+    def engine(self) -> str:
+        """The active ranking engine (``heap`` or ``bucket``)."""
+        return self._engine
 
     def on_worker_added(self, worker_id: str) -> None:
         worker = self._pool[worker_id]
-        heapq.heappush(self._heap, (worker.active, worker.assigned_total, worker_id))
+        if self._heap is not None:
+            heapq.heappush(self._heap, (worker.active, worker.assigned_total, worker_id))
+        else:
+            self._bucket_push(worker.active, worker.assigned_total, worker_id)
 
     def on_worker_removed(self, worker_id: str) -> None:
         # The departed worker's entry is now garbage; it is either popped
@@ -469,42 +549,119 @@ class LeastLoadedRouter(BaseRouter):
         # _maybe_compact once garbage outnumbers live entries.
         self._dead += 1
 
+    # -- shared plumbing ------------------------------------------------- #
+    def _bucket_push(self, active: int, assigned: int, worker_id: str) -> None:
+        buckets = self._buckets
+        assert buckets is not None
+        while len(buckets) <= active:
+            buckets.append([])
+        heapq.heappush(buckets[active], (assigned, worker_id))
+        self._entries += 1
+
+    def _file_live_key(self, worker_id: str) -> None:
+        # Eager re-keying (bound as this instance's on_load_changed):
+        # every load mutation files the worker's current key, leaving the
+        # old entry behind as garbage that the route scan discards (the
+        # key mismatch gives it away).
+        worker = self._pool[worker_id]
+        if self._heap is not None:
+            heapq.heappush(self._heap, (worker.active, worker.assigned_total, worker_id))
+        else:
+            self._bucket_push(worker.active, worker.assigned_total, worker_id)
+
     def _maybe_compact(self) -> None:
-        if self._dead * 2 <= len(self._heap):
+        # Garbage grows with *load churn*, not just departures: each
+        # begin/complete/release leaves one stale key behind.  Once
+        # entries outnumber live workers 2:1 the structure is rebuilt in
+        # one linear sweep — amortised O(1) per push.
+        if self._heap is not None:
+            if len(self._heap) <= 2 * len(self._pool) + 16:
+                return
+            self._heap = [
+                (worker.active, worker.assigned_total, worker.worker_id)
+                for worker in self._pool.workers
+            ]
+            heapq.heapify(self._heap)
+            self._dead = 0
             return
-        self._heap = [entry for entry in self._heap if entry[2] in self._pool]
-        heapq.heapify(self._heap)
+        if self._entries <= 2 * len(self._pool) + 16:
+            return
+        self._buckets = []
+        self._entries = 0
+        for worker in self._pool.workers:
+            self._bucket_push(worker.active, worker.assigned_total, worker.worker_id)
         self._dead = 0
+
+    def _route_bucket(self, domain: str, n_votes: int) -> List[str]:
+        buckets = self._buckets
+        assert buckets is not None
+        chosen: List[str] = []
+        held_back: List[Tuple[int, int, str]] = []
+        level = 0
+        while level < len(buckets) and len(chosen) < n_votes:
+            bucket = buckets[level]
+            if not bucket:
+                # A begin_assignment during this scan only pushes keys at
+                # level + 1 or deeper, so the walk never has to back up.
+                level += 1
+                continue
+            assigned, worker_id = heapq.heappop(bucket)
+            self._entries -= 1
+            worker = self._pool.get(worker_id)
+            if worker is None:
+                # Garbage entry for a departed worker — drop it for good.
+                self._dead = max(0, self._dead - 1)
+                continue
+            if (worker.active, worker.assigned_total) != (level, assigned):
+                # Stale key: the live key was already filed by the load
+                # hook, so the old entry is pure garbage.
+                continue
+            if worker_id in chosen:
+                held_back.append((level, assigned, worker_id))
+                continue
+            if worker.tier_on(domain) < self._min_tier or not worker.has_capacity:
+                held_back.append((level, assigned, worker_id))
+                continue
+            # Charging moves the worker to the next load level (the load
+            # hook files the new key there); the entry just popped is
+            # consumed, so the worker cannot be picked twice.
+            self._pool.begin_assignment(worker_id)
+            chosen.append(worker_id)
+        for level0, assigned, worker_id in held_back:
+            self._bucket_push(level0, assigned, worker_id)
+        if not chosen:
+            raise NoEligibleWorkersError(f"no eligible worker with capacity on domain {domain!r}")
+        return chosen
 
     def _route(self, domain: str, n_votes: int) -> List[str]:
         self._maybe_compact()
+        if self._heap is None:
+            return self._route_bucket(domain, n_votes)
         chosen: List[str] = []
         held_back: List[Tuple[int, int, str]] = []
         while self._heap and len(chosen) < n_votes:
             active, assigned, worker_id = heapq.heappop(self._heap)
-            if worker_id not in self._pool:
-                # Stale entry for a departed worker — drop it for good.
+            worker = self._pool.get(worker_id)
+            if worker is None:
+                # Garbage entry for a departed worker — drop it for good.
                 self._dead = max(0, self._dead - 1)
                 continue
+            if (active, assigned) != (worker.active, worker.assigned_total):
+                # Stale key: the live key was already filed by the load
+                # hook, so the old entry is pure garbage.
+                continue
             if worker_id in chosen:
-                # Duplicate entry (the worker departed and returned under
-                # the same id, leaving its old entry behind): one task must
+                # The post-charge key of an earlier pick: one task must
                 # never pick the same worker twice, so park it untouched.
                 held_back.append((active, assigned, worker_id))
-                continue
-            worker = self._pool[worker_id]
-            if (active, assigned) != (worker.active, worker.assigned_total):
-                # Stale key — reinsert at the live position and retry.
-                heapq.heappush(self._heap, (worker.active, worker.assigned_total, worker_id))
                 continue
             if worker.tier_on(domain) < self._min_tier or not worker.has_capacity:
                 held_back.append((active, assigned, worker_id))
                 continue
+            # Charging files the worker's next key via the load hook; the
+            # entry just popped is consumed, so the worker cannot be
+            # picked twice.
             self._pool.begin_assignment(worker_id)
-            # Held back until the task is fully routed: re-pushing now could
-            # make the same worker the minimum again, and one task must
-            # never be assigned to the same worker twice.
-            held_back.append((worker.active, worker.assigned_total, worker_id))
             chosen.append(worker_id)
         for entry in held_back:
             heapq.heappush(self._heap, entry)
@@ -643,4 +800,6 @@ __all__ = [
     "router_exists",
     "resolve_router_name",
     "router_accepts",
+    "router_engines",
+    "known_routing_engines",
 ]
